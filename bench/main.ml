@@ -1,0 +1,138 @@
+(* Bechamel timing benches, one group per paper artifact (see DESIGN.md §4):
+
+     table1/*   — compile + route cost behind each Table 1 column pair
+     figure8/*  — cost of one pin-sweep point behind Figure 8
+     fidelity/* — emulation-frame and golden-frame execution cost
+     ablation/* — scheduler variants on one prepared design
+
+   Workloads are scaled down so the whole run finishes in about a minute;
+   `dune exec bin/experiments.exe -- <cmd>` regenerates the actual
+   tables/figures at evaluation scale. *)
+
+open Bechamel
+open Toolkit
+module Netlist = Msched_netlist.Netlist
+module Tiers = Msched_route.Tiers
+module Async_gen = Msched_clocking.Async_gen
+module Edges = Msched_clocking.Edges
+module Design_gen = Msched_gen.Design_gen
+
+let options =
+  {
+    Msched.Compile.default_options with
+    Msched.Compile.max_block_weight = 64;
+    pins_per_fpga = 96;
+  }
+
+(* Shared prepared designs, built once: the benches time the interesting
+   phases, not the generator. *)
+let design1 = lazy (Design_gen.design1_like ~scale:0.05 ())
+let design2 = lazy (Design_gen.design2_like ~scale:0.05 ())
+
+let prepared1 =
+  lazy (Msched.Compile.prepare ~options (Lazy.force design1).Design_gen.netlist)
+
+let prepared2 =
+  lazy (Msched.Compile.prepare ~options (Lazy.force design2).Design_gen.netlist)
+
+let route_bench name prepared opts =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Msched.Compile.route (Lazy.force prepared) opts)))
+
+let table1_tests =
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"design1_prepare"
+        (Staged.stage (fun () ->
+             ignore
+               (Msched.Compile.prepare ~options
+                  (Lazy.force design1).Design_gen.netlist)));
+      route_bench "design1_route_virtual" prepared1 Tiers.default_options;
+      route_bench "design1_route_hard" prepared1 Tiers.hard_options;
+      route_bench "design2_route_virtual" prepared2 Tiers.default_options;
+      route_bench "design2_route_hard" prepared2 Tiers.hard_options;
+    ]
+
+let figure8_tests =
+  Test.make_grouped ~name:"figure8"
+    [
+      Test.make ~name:"sweep_point"
+        (Staged.stage (fun () ->
+             ignore
+               (Msched.Pin_sweep.sweep ~weights:[ 64 ]
+                  ~pin_candidates:[ 96; 48 ]
+                  (Lazy.force design1).Design_gen.netlist)));
+    ]
+
+(* Fidelity: per-frame execution cost of both simulators. *)
+let fidelity_env =
+  lazy
+    (let prepared = Lazy.force prepared1 in
+     let sched = Msched.Compile.route prepared Tiers.default_options in
+     let nl = prepared.Msched.Compile.netlist in
+     let stim = Msched_sim.Stimulus.make nl in
+     let emu =
+       Msched_sim.Emu_sim.create prepared.Msched.Compile.placement sched stim
+     in
+     let golden = Msched_sim.Ref_sim.create nl stim in
+     let clocks = Async_gen.clocks (Netlist.domains nl) in
+     let edges = Array.of_list (Edges.stream clocks ~horizon_ps:2_000_000) in
+     (emu, golden, edges, ref 0, ref 0))
+
+let fidelity_tests =
+  Test.make_grouped ~name:"fidelity"
+    [
+      Test.make ~name:"emulator_frame"
+        (Staged.stage (fun () ->
+             let emu, _, edges, i, _ = Lazy.force fidelity_env in
+             Msched_sim.Emu_sim.run_edge emu edges.(!i mod Array.length edges);
+             incr i));
+      Test.make ~name:"golden_frame"
+        (Staged.stage (fun () ->
+             let _, golden, edges, _, j = Lazy.force fidelity_env in
+             Msched_sim.Ref_sim.apply_edge golden
+               edges.(!j mod Array.length edges);
+             incr j));
+    ]
+
+let ablation_tests =
+  Test.make_grouped ~name:"ablation"
+    [
+      route_bench "full" prepared1 Tiers.default_options;
+      route_bench "no_equalize" prepared1
+        { Tiers.default_options with Tiers.equalize_forks = false };
+      route_bench "no_latch_order" prepared1
+        { Tiers.default_options with Tiers.latch_ordering = false };
+      route_bench "all_domain" prepared1
+        { Tiers.default_options with Tiers.same_domain_only = false };
+    ]
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"msched"
+      [ table1_tests; figure8_tests; fidelity_tests; ablation_tests ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Analyze.merge ols instances [ results ]
+
+let () =
+  let results = benchmark () in
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  let module U = Bechamel_notty.Unit in
+  U.add Instance.monotonic_clock (Measure.unit Instance.monotonic_clock);
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol img |> Notty_unix.output_image

@@ -1,0 +1,157 @@
+(* File-based compiler driver: operate on netlists in the text format of
+   Msched_netlist.Serial (extension-agnostic; see lib/netlist/serial.mli).
+
+     msched compile  design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
+     msched stats    design.mnl
+     msched dot      design.mnl [--partition] > design.dot
+     msched simulate design.mnl [--horizon PS] [--seed N]
+     msched gen      design1|design2|fig1|fig3|handshake [--scale F] > design.mnl *)
+
+module Netlist = Msched_netlist.Netlist
+module Serial = Msched_netlist.Serial
+module Dot = Msched_netlist.Dot
+module Stats = Msched_netlist.Stats
+module Ids = Msched_netlist.Ids
+module Tiers = Msched_route.Tiers
+module Schedule = Msched_route.Schedule
+module Partition = Msched_partition.Partition
+module Async_gen = Msched_clocking.Async_gen
+module Fidelity = Msched_sim.Fidelity
+module Design_gen = Msched_gen.Design_gen
+
+let read_netlist path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Serial.of_string text with
+  | Ok nl -> nl
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1
+
+let options_of pins weight =
+  {
+    Msched.Compile.default_options with
+    Msched.Compile.pins_per_fpga = pins;
+    max_block_weight = weight;
+  }
+
+let compile_cmd path pins weight mode forward =
+  let nl = read_netlist path in
+  let prepared = Msched.Compile.prepare ~options:(options_of pins weight) nl in
+  let ropts =
+    match mode with
+    | "virtual" -> Tiers.default_options
+    | "hard" -> Tiers.hard_options
+    | "naive" -> Tiers.naive_options
+    | other ->
+        Printf.eprintf "unknown mode %s (virtual|hard|naive)\n" other;
+        exit 1
+  in
+  let sched =
+    if forward then Msched.Compile.route_forward prepared ropts
+    else Msched.Compile.route prepared ropts
+  in
+  Format.printf "design:   %a@." Netlist.pp_summary prepared.Msched.Compile.netlist;
+  Format.printf "partition: %a@." Partition.pp_summary prepared.Msched.Compile.partition;
+  Format.printf "mts:      %a@." Msched_mts.Classify.pp_summary
+    prepared.Msched.Compile.classification;
+  Format.printf "%a@." Schedule.pp_summary sched;
+  Format.printf "pins used (worst FPGA): %d / %d@."
+    (Schedule.max_pins_used sched prepared.Msched.Compile.system)
+    pins;
+  Format.printf "channel utilization: %.1f%%, mean transport latency: %.1f@."
+    (100.0 *. Schedule.channel_utilization sched prepared.Msched.Compile.system)
+    (Schedule.mean_transport_latency sched)
+
+let stats_cmd path =
+  let nl = read_netlist path in
+  Format.printf "%a@.%a@." Netlist.pp_summary nl Stats.pp (Stats.compute nl)
+
+let dot_cmd path partition weight =
+  let nl = read_netlist path in
+  if partition then begin
+    let part = Partition.make nl ~max_weight:weight () in
+    let cluster c = Some (Ids.Block.to_int (Partition.block_of_cell part c)) in
+    Format.printf "%a@." (Dot.output ~cluster) nl
+  end
+  else Format.printf "%a@." (Dot.output ?cluster:None) nl
+
+let simulate_cmd path horizon seed pins weight =
+  let nl = read_netlist path in
+  let prepared = Msched.Compile.prepare ~options:(options_of pins weight) nl in
+  let sched = Msched.Compile.route prepared Tiers.default_options in
+  let clocks =
+    Async_gen.clocks ~seed (Netlist.domains prepared.Msched.Compile.netlist)
+  in
+  let report =
+    Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+      ~horizon_ps:horizon ~seed ()
+  in
+  Format.printf "%a@.fidelity: %a@." Schedule.pp_summary sched
+    Fidelity.pp_report report;
+  if not (Fidelity.perfect report) then exit 2
+
+let vcd_cmd path horizon seed =
+  let nl = read_netlist path in
+  let sim = Msched_sim.Ref_sim.create nl (Msched_sim.Stimulus.make ~seed nl) in
+  let clocks = Async_gen.clocks ~seed (Netlist.domains nl) in
+  let edges = Msched_clocking.Edges.stream clocks ~horizon_ps:horizon in
+  Msched_sim.Vcd.trace_run sim ~edges Format.std_formatter
+
+let gen_cmd name scale =
+  let design =
+    match name with
+    | "design1" -> Design_gen.design1_like ~scale ()
+    | "design2" -> Design_gen.design2_like ~scale ()
+    | "fig1" -> Design_gen.fig1 ()
+    | "fig3" -> Design_gen.fig3_latch ()
+    | "handshake" -> Design_gen.handshake ()
+    | other ->
+        Printf.eprintf "unknown design %s\n" other;
+        exit 1
+  in
+  print_string (Serial.to_string design.Design_gen.netlist)
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN" ~doc:"Netlist file")
+
+let pins_arg = Arg.(value & opt int 240 & info [ "pins" ] ~doc:"Pins per FPGA")
+let weight_arg = Arg.(value & opt int 64 & info [ "weight" ] ~doc:"Block capacity")
+let mode_arg = Arg.(value & opt string "virtual" & info [ "mode" ] ~doc:"virtual|hard|naive")
+let forward_arg = Arg.(value & flag & info [ "forward" ] ~doc:"Forward scheduler")
+let horizon_arg = Arg.(value & opt int 300_000 & info [ "horizon" ] ~doc:"Sim horizon (ps)")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Stimulus/clock seed")
+let partition_arg = Arg.(value & flag & info [ "partition" ] ~doc:"Cluster by partition block")
+let scale_arg = Arg.(value & opt float 0.1 & info [ "scale" ] ~doc:"Generator scale")
+
+let name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"NAME" ~doc:"design1|design2|fig1|fig3|handshake")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "compile" ~doc:"Compile a netlist and print the schedule")
+      Term.(const compile_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg $ forward_arg);
+    Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
+      Term.(const stats_cmd $ path_arg);
+    Cmd.v (Cmd.info "dot" ~doc:"Graphviz DOT export")
+      Term.(const dot_cmd $ path_arg $ partition_arg $ weight_arg);
+    Cmd.v (Cmd.info "simulate" ~doc:"Compile and co-simulate against the golden model")
+      Term.(const simulate_cmd $ path_arg $ horizon_arg $ seed_arg $ pins_arg $ weight_arg);
+    Cmd.v (Cmd.info "vcd" ~doc:"Golden-simulate and dump a VCD waveform to stdout")
+      Term.(const vcd_cmd $ path_arg $ horizon_arg $ seed_arg);
+    Cmd.v (Cmd.info "gen" ~doc:"Emit a benchmark design in the text format")
+      Term.(const gen_cmd $ name_arg $ scale_arg);
+  ]
+
+let () =
+  let info =
+    Cmd.info "msched" ~doc:"Multi-domain static-scheduling emulation compiler"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,66 @@
+(* A flip-flop clocked by a derived clock that mixes two asynchronous
+   domains — the paper's "MTS flip-flop".  The compiler rewrites it into a
+   master/slave latch pair (Section 5) and schedules the pair with the latch
+   machinery; we verify the compiled system against the golden simulator and
+   show the serialized netlist before/after the transform. *)
+
+module B = Msched_netlist.Netlist.Builder
+module Cell = Msched_netlist.Cell
+module Netlist = Msched_netlist.Netlist
+module Serial = Msched_netlist.Serial
+module Async_gen = Msched_clocking.Async_gen
+module Fidelity = Msched_sim.Fidelity
+
+let () =
+  let b = B.create ~design_name:"gated_clock" () in
+  let d0 = B.add_domain b "clk_a" in
+  let d1 = B.add_domain b "clk_b" in
+  let i0 = B.add_input b ~name:"ia" ~domain:d0 () in
+  let i1 = B.add_input b ~name:"ib" ~domain:d1 () in
+  let qa = B.add_flip_flop b ~name:"qa" ~data:i0 ~clock:(Cell.Dom_clock d0) () in
+  let qb = B.add_flip_flop b ~name:"qb" ~data:i1 ~clock:(Cell.Dom_clock d1) () in
+  (* Derived clock mixing both domains — one signal per domain, so a single
+     edge never races the gate cone. *)
+  let dclk = B.add_gate b ~name:"derived_clk" Cell.Or [ qa; qb ] in
+  let payload = B.add_flip_flop b ~name:"payload" ~data:i0 ~clock:(Cell.Dom_clock d0) () in
+  let mts_ff =
+    B.add_flip_flop b ~name:"mts_ff" ~data:payload ~clock:(Cell.Net_trigger dclk) ()
+  in
+  let sink = B.add_flip_flop b ~name:"sink" ~data:mts_ff ~clock:(Cell.Dom_clock d1) () in
+  let (_ : Msched_netlist.Ids.Cell.t) = B.add_output b ~name:"out" sink in
+  let design = B.finalize b in
+
+  print_endline "--- source netlist (serialized) ---";
+  print_string (Serial.to_string design);
+
+  let options =
+    { Msched.Compile.default_options with Msched.Compile.max_block_weight = 4 }
+  in
+  let prepared = Msched.Compile.prepare ~options design in
+  Printf.printf "\nMTS flip-flop rewrites: %d\n"
+    (List.length prepared.Msched.Compile.rewrites);
+  List.iter
+    (fun (rw : Msched_mts.Transform.rewrite) ->
+      let nl = prepared.Msched.Compile.netlist in
+      Format.printf "  %a -> master %s + slave %s@."
+        Msched_netlist.Ids.Cell.pp rw.Msched_mts.Transform.old_ff
+        (Netlist.cell nl rw.Msched_mts.Transform.master).Cell.name
+        (Netlist.cell nl rw.Msched_mts.Transform.slave).Cell.name)
+    prepared.Msched.Compile.rewrites;
+
+  let sched = Msched.Compile.route prepared Msched_route.Tiers.default_options in
+  Format.printf "schedule: %a@." Msched_route.Schedule.pp_summary sched;
+  let clocks =
+    Async_gen.clocks ~seed:13 (Netlist.domains prepared.Msched.Compile.netlist)
+  in
+  let report =
+    Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+      ~horizon_ps:600_000 ()
+  in
+  Format.printf "fidelity: %a@." Fidelity.pp_report report;
+  if Fidelity.perfect report then
+    print_endline "gated_clock: master/slave transform emulates faithfully."
+  else begin
+    print_endline "gated_clock: MISMATCH (unexpected)";
+    exit 1
+  end

@@ -1,0 +1,27 @@
+(* The Figure 8 effect in miniature: sweep the partition size of a
+   multi-domain design and watch per-FPGA pin demand under hard vs virtual
+   MTS routing.  Under a fixed user-IO pin budget, hard routing forces more
+   (smaller) FPGAs than virtual routing. *)
+
+module Pin_sweep = Msched.Pin_sweep
+
+let () =
+  let design =
+    Msched_gen.Design_gen.random_multidomain ~domains:3 ~modules:60
+      ~mts_fraction:0.25 ()
+  in
+  let points =
+    Pin_sweep.sweep ~weights:[ 128; 96; 64; 48; 32; 24; 16 ]
+      design.Msched_gen.Design_gen.netlist
+  in
+  Format.printf "%a@." Pin_sweep.pp_points points;
+  List.iter
+    (fun limit ->
+      let show hard =
+        match Pin_sweep.min_fpgas_under_pin_limit points ~pin_limit:limit ~hard with
+        | Some n -> string_of_int n
+        | None -> "-"
+      in
+      Format.printf "pin limit %3d: min FPGAs hard=%s virtual=%s@." limit
+        (show true) (show false))
+    [ 64; 48; 32; 24; 16 ]

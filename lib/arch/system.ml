@@ -1,0 +1,86 @@
+open Msched_netlist
+
+type channel = {
+  channel_index : int;
+  src : Ids.Fpga.t;
+  dst : Ids.Fpga.t;
+  width : int;
+}
+
+type t = {
+  topology : Topology.t;
+  pins_per_fpga : int;
+  vclock_hz : float;
+  channels : channel array;
+  out_by_fpga : channel list array;
+  in_by_fpga : channel list array;
+  index : (int * int, int) Hashtbl.t;  (* (src, dst) -> channel_index *)
+}
+
+let xilinx_4062_pins = 240
+let default_vclock_hz = 34.0e6
+
+let make ?(vclock_hz = default_vclock_hz) topology ~pins_per_fpga =
+  if pins_per_fpga <= 0 then invalid_arg "System.make: pins_per_fpga";
+  if vclock_hz <= 0.0 then invalid_arg "System.make: vclock_hz";
+  let n = Topology.num_fpgas topology in
+  (* Pins are divided over the incident directed channels of each FPGA;
+     out and in channels both consume pins. *)
+  let afford f =
+    let deg = Topology.degree topology f in
+    if deg = 0 then max_int else pins_per_fpga / (2 * deg)
+  in
+  let channels = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          let width = min (afford src) (afford dst) in
+          if width <= 0 then
+            invalid_arg
+              (Format.asprintf
+                 "System.make: pin budget %d gives channel %a->%a zero wires"
+                 pins_per_fpga Ids.Fpga.pp src Ids.Fpga.pp dst);
+          channels := { channel_index = !idx; src; dst; width } :: !channels;
+          incr idx)
+        (Topology.neighbors topology src))
+    (Topology.fpgas topology);
+  let channels = Array.of_list (List.rev !channels) in
+  let out_by_fpga = Array.make n [] in
+  let in_by_fpga = Array.make n [] in
+  let index = Hashtbl.create (Array.length channels) in
+  Array.iter
+    (fun c ->
+      let s = Ids.Fpga.to_int c.src and d = Ids.Fpga.to_int c.dst in
+      out_by_fpga.(s) <- c :: out_by_fpga.(s);
+      in_by_fpga.(d) <- c :: in_by_fpga.(d);
+      Hashtbl.replace index (s, d) c.channel_index)
+    channels;
+  Array.iteri (fun i l -> out_by_fpga.(i) <- List.rev l) out_by_fpga;
+  Array.iteri (fun i l -> in_by_fpga.(i) <- List.rev l) in_by_fpga;
+  { topology; pins_per_fpga; vclock_hz; channels; out_by_fpga; in_by_fpga; index }
+
+let topology t = t.topology
+let pins_per_fpga t = t.pins_per_fpga
+let vclock_hz t = t.vclock_hz
+let num_fpgas t = Topology.num_fpgas t.topology
+let channels t = t.channels
+let channel t i = t.channels.(i)
+
+let channel_between t ~src ~dst =
+  match Hashtbl.find_opt t.index (Ids.Fpga.to_int src, Ids.Fpga.to_int dst) with
+  | Some i -> Some t.channels.(i)
+  | None -> None
+
+let out_channels t f = t.out_by_fpga.(Ids.Fpga.to_int f)
+let in_channels t f = t.in_by_fpga.(Ids.Fpga.to_int f)
+
+let pins_used_per_fpga t f =
+  let sum = List.fold_left (fun acc c -> acc + c.width) 0 in
+  sum (out_channels t f) + sum (in_channels t f)
+
+let pp ppf t =
+  Format.fprintf ppf "%a, %d pins/FPGA, %.1f MHz vclock, %d channels"
+    Topology.pp t.topology t.pins_per_fpga (t.vclock_hz /. 1e6)
+    (Array.length t.channels)

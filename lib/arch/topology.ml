@@ -1,0 +1,74 @@
+open Msched_netlist
+
+type kind = Mesh | Torus | Crossbar
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with Mesh -> "mesh" | Torus -> "torus" | Crossbar -> "crossbar")
+
+type t = { kind : kind; nx : int; ny : int }
+
+let make kind ~nx ~ny =
+  if nx <= 0 || ny <= 0 then invalid_arg "Topology.make: dimensions";
+  { kind; nx; ny }
+
+let make_for_count kind n =
+  if n <= 0 then invalid_arg "Topology.make_for_count";
+  let nx = int_of_float (ceil (sqrt (float_of_int n))) in
+  let ny = (n + nx - 1) / nx in
+  make kind ~nx ~ny
+
+let kind t = t.kind
+let num_fpgas t = t.nx * t.ny
+let fpgas t = List.init (num_fpgas t) Ids.Fpga.of_int
+
+let coords t f =
+  let i = Ids.Fpga.to_int f in
+  (i mod t.nx, i / t.nx)
+
+let fpga_at t ~x ~y =
+  if x < 0 || x >= t.nx || y < 0 || y >= t.ny then
+    invalid_arg "Topology.fpga_at: out of bounds";
+  Ids.Fpga.of_int ((y * t.nx) + x)
+
+let neighbors t f =
+  match t.kind with
+  | Crossbar ->
+      List.filter (fun g -> not (Ids.Fpga.equal f g)) (fpgas t)
+  | Mesh ->
+      let x, y = coords t f in
+      let candidates = [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ] in
+      List.filter_map
+        (fun (x, y) ->
+          if x >= 0 && x < t.nx && y >= 0 && y < t.ny then
+            Some (fpga_at t ~x ~y)
+          else None)
+        candidates
+  | Torus ->
+      let x, y = coords t f in
+      let wrap v n = ((v mod n) + n) mod n in
+      let candidates =
+        [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ]
+        |> List.map (fun (x, y) -> (wrap x t.nx, wrap y t.ny))
+      in
+      (* A 1-wide or 1-tall torus degenerates; deduplicate and drop self. *)
+      let module S = Ids.Fpga.Set in
+      S.elements
+        (List.fold_left
+           (fun acc (x, y) ->
+             let g = fpga_at t ~x ~y in
+             if Ids.Fpga.equal g f then acc else S.add g acc)
+           S.empty candidates)
+
+let degree t f = List.length (neighbors t f)
+
+let distance t a b =
+  let ax, ay = coords t a and bx, by = coords t b in
+  match t.kind with
+  | Crossbar -> if Ids.Fpga.equal a b then 0 else 1
+  | Mesh -> abs (ax - bx) + abs (ay - by)
+  | Torus ->
+      let d v1 v2 n = min (abs (v1 - v2)) (n - abs (v1 - v2)) in
+      d ax bx t.nx + d ay by t.ny
+
+let pp ppf t = Format.fprintf ppf "%a %dx%d" pp_kind t.kind t.nx t.ny

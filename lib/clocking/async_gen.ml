@@ -1,0 +1,21 @@
+let primes =
+  [| 101; 211; 307; 401; 503; 601; 701; 809; 907; 1009; 1103; 1201 |]
+
+let clocks ?(seed = 17) ?(base_period_ps = 10_000) ?(spread = 0.35) domains =
+  if base_period_ps < 100 then invalid_arg "Async_gen.clocks: base period";
+  if spread < 0.0 || spread > 0.9 then invalid_arg "Async_gen.clocks: spread";
+  let rng = Random.State.make [| seed; base_period_ps |] in
+  List.mapi
+    (fun i d ->
+      let wobble =
+        1.0 +. ((Random.State.float rng 2.0 -. 1.0) *. spread)
+      in
+      let base = int_of_float (float_of_int base_period_ps *. wobble) in
+      (* Adding a distinct prime keeps period pairs near-coprime, so phase
+         relationships drift instead of locking. *)
+      let period = base + primes.(i mod Array.length primes) in
+      let phase = Random.State.int rng (period / 2) in
+      Clock.make ~phase_ps:phase d
+        ~name:(Printf.sprintf "clk%d" i)
+        ~period_ps:period)
+    domains

@@ -1,0 +1,17 @@
+(** Generation of mutually asynchronous clock sets.
+
+    Periods are drawn around a base period but perturbed to near-coprime
+    values (distinct primes as offsets) so that no two domains keep a stable
+    phase relationship over a simulation horizon. *)
+
+open Msched_netlist
+
+val clocks :
+  ?seed:int ->
+  ?base_period_ps:int ->
+  ?spread:float ->
+  Ids.Dom.t list ->
+  Clock.t list
+(** One clock per domain.  [spread] (default 0.35) controls how far apart the
+    periods are allowed to drift from the base period (default 10_000 ps =
+    100 MHz). Deterministic for a fixed [seed]. *)

@@ -1,0 +1,101 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+module Placement = Msched_place.Placement
+module System = Msched_arch.System
+module Topology = Msched_arch.Topology
+module Domain_analysis = Msched_mts.Domain_analysis
+module Latch_analysis = Msched_mts.Latch_analysis
+module Transform = Msched_mts.Transform
+module Classify = Msched_mts.Classify
+module Tiers = Msched_route.Tiers
+
+type options = {
+  max_block_weight : int;
+  pins_per_fpga : int;
+  topology_kind : Topology.kind;
+  vclock_hz : float;
+  partition_seed : int;
+  place_seed : int;
+  place_effort : int;
+  route : Tiers.options;
+}
+
+let default_options =
+  {
+    max_block_weight = 64;
+    pins_per_fpga = System.xilinx_4062_pins;
+    topology_kind = Topology.Mesh;
+    vclock_hz = System.default_vclock_hz;
+    partition_seed = 1;
+    place_seed = 7;
+    place_effort = 4;
+    route = Tiers.default_options;
+  }
+
+type prepared = {
+  original : Netlist.t;
+  netlist : Netlist.t;
+  rewrites : Transform.rewrite list;
+  analysis : Domain_analysis.t;
+  partition : Partition.t;
+  system : System.t;
+  placement : Placement.t;
+  latch_analysis : Latch_analysis.t array;
+  classification : Classify.t;
+}
+
+type compiled = { prepared : prepared; schedule : Msched_route.Schedule.t }
+
+exception Compile_error of string
+
+let prepare ?(options = default_options) original =
+  let analysis0 = Domain_analysis.compute original in
+  (match Transform.check_supported original analysis0 with
+  | Ok () -> ()
+  | Error msg -> raise (Compile_error msg));
+  let rewritten = Transform.master_slave original analysis0 in
+  let netlist = rewritten.Transform.netlist in
+  let analysis = Domain_analysis.compute netlist in
+  let partition =
+    Partition.make netlist ~max_weight:options.max_block_weight
+      ~seed:options.partition_seed ()
+  in
+  (match Partition.validate partition with
+  | Ok () -> ()
+  | Error msg -> raise (Compile_error ("invalid partition: " ^ msg)));
+  let topology =
+    Topology.make_for_count options.topology_kind (Partition.num_blocks partition)
+  in
+  let system =
+    System.make ~vclock_hz:options.vclock_hz topology
+      ~pins_per_fpga:options.pins_per_fpga
+  in
+  let placement =
+    Placement.place partition system ~seed:options.place_seed
+      ~effort:options.place_effort ()
+  in
+  let latch_analysis = Latch_analysis.analyze partition in
+  let classification = Classify.compute partition analysis in
+  {
+    original;
+    netlist;
+    rewrites = rewritten.Transform.rewrites;
+    analysis;
+    partition;
+    system;
+    placement;
+    latch_analysis;
+    classification;
+  }
+
+let route prepared route_options =
+  Tiers.schedule prepared.placement prepared.analysis
+    ~analysis:prepared.latch_analysis ~options:route_options ()
+
+let route_forward prepared route_options =
+  Msched_route.Forward.schedule prepared.placement prepared.analysis
+    ~analysis:prepared.latch_analysis ~options:route_options ()
+
+let compile ?(options = default_options) nl =
+  let prepared = prepare ~options nl in
+  { prepared; schedule = route prepared options.route }

@@ -1,0 +1,57 @@
+(** The full emulation-compiler pipeline (paper Section 2):
+
+    domain analysis → MTS flip-flop transform → partitioning → placement →
+    per-block latch analysis → MTS classification → static scheduling.
+
+    [prepare] runs everything up to (and excluding) routing, so multiple
+    routing modes (virtual / hard / naive) can be compared on the same
+    partition and placement — exactly how Table 1 compares rows 8/9. *)
+
+open Msched_netlist
+
+type options = {
+  max_block_weight : int;  (** FPGA capacity in cell-weight units. *)
+  pins_per_fpga : int;
+  topology_kind : Msched_arch.Topology.kind;
+  vclock_hz : float;
+  partition_seed : int;
+  place_seed : int;
+  place_effort : int;
+  route : Msched_route.Tiers.options;
+}
+
+val default_options : options
+(** 240 pins (XC4062XL), mesh, 34 MHz virtual clock, virtual MTS routing. *)
+
+type prepared = {
+  original : Netlist.t;
+  netlist : Netlist.t;  (** After the MTS flip-flop transform. *)
+  rewrites : Msched_mts.Transform.rewrite list;
+  analysis : Msched_mts.Domain_analysis.t;
+  partition : Msched_partition.Partition.t;
+  system : Msched_arch.System.t;
+  placement : Msched_place.Placement.t;
+  latch_analysis : Msched_mts.Latch_analysis.t array;
+  classification : Msched_mts.Classify.t;
+}
+
+type compiled = {
+  prepared : prepared;
+  schedule : Msched_route.Schedule.t;
+}
+
+exception Compile_error of string
+
+val prepare : ?options:options -> Netlist.t -> prepared
+(** @raise Compile_error on unsupported constructs (multi-domain RAM write
+    clocks) or infeasible capacity settings. *)
+
+val route : prepared -> Msched_route.Tiers.options -> Msched_route.Schedule.t
+(** Reverse (TIERS) scheduling. *)
+
+val route_forward :
+  prepared -> Msched_route.Tiers.options -> Msched_route.Schedule.t
+(** Forward list scheduling (see {!Msched_route.Forward}). *)
+
+val compile : ?options:options -> Netlist.t -> compiled
+(** [prepare] followed by [route] with [options.route]. *)

@@ -1,0 +1,107 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+module Placement = Msched_place.Placement
+module System = Msched_arch.System
+module Topology = Msched_arch.Topology
+module Schedule = Msched_route.Schedule
+module Tiers = Msched_route.Tiers
+
+type point = {
+  max_block_weight : int;
+  fpga_count : int;
+  pins_hard : int;
+  pins_virtual : int option;
+  base_length : int;
+}
+
+let default_weights = [ 256; 128; 64; 32 ]
+let default_candidates = [ 160; 96; 64; 48; 32; 24; 16 ]
+let generous_pins = 2048
+
+let sweep ?(options = Compile.default_options) ?(weights = default_weights)
+    ?(pin_candidates = default_candidates) ?(slack = 1.5) nl =
+  List.filter_map
+    (fun w ->
+      let options =
+        {
+          options with
+          Compile.max_block_weight = w;
+          Compile.pins_per_fpga = generous_pins;
+        }
+      in
+      match Compile.prepare ~options nl with
+      | exception Compile.Compile_error _ -> None
+      | exception Invalid_argument _ -> None
+      | prepared ->
+          let part = prepared.Compile.partition in
+          let pins_hard =
+            List.fold_left
+              (fun acc b -> max acc (Partition.naive_pin_count part b))
+              0 (Partition.blocks part)
+          in
+          let base = Compile.route prepared Tiers.default_options in
+          let base_length = base.Schedule.length in
+          let budget = int_of_float (ceil (slack *. float_of_int base_length)) in
+          let topology = System.topology prepared.Compile.system in
+          let assignment =
+            Array.init (Partition.num_blocks part) (fun b ->
+                Placement.fpga_of_block prepared.Compile.placement
+                  (Ids.Block.of_int b))
+          in
+          (* Try candidate pin budgets from small to large; the first that
+             compiles within the length budget is the virtual pin demand. *)
+          let feasible pins =
+            match System.make ~vclock_hz:(System.vclock_hz prepared.Compile.system)
+                    topology ~pins_per_fpga:pins
+            with
+            | exception Invalid_argument _ -> false
+            | sys -> (
+                let placement = Placement.of_assignment part sys assignment in
+                match
+                  Msched_route.Tiers.schedule placement prepared.Compile.analysis
+                    ~analysis:prepared.Compile.latch_analysis
+                    ~options:Tiers.default_options ()
+                with
+                | sched -> sched.Schedule.length <= budget
+                | exception Tiers.Unroutable _ -> false)
+          in
+          let pins_virtual =
+            List.find_opt feasible (List.sort compare pin_candidates)
+          in
+          ignore (Topology.num_fpgas topology);
+          Some
+            {
+              max_block_weight = w;
+              fpga_count = Partition.num_blocks part;
+              pins_hard;
+              pins_virtual;
+              base_length;
+            })
+    weights
+
+let min_fpgas_under_pin_limit points ~pin_limit ~hard =
+  List.fold_left
+    (fun acc p ->
+      let fits =
+        if hard then p.pins_hard <= pin_limit
+        else match p.pins_virtual with Some v -> v <= pin_limit | None -> false
+      in
+      if fits then
+        match acc with
+        | Some best when best <= p.fpga_count -> acc
+        | Some _ | None -> Some p.fpga_count
+      else acc)
+    None points
+
+let pp_points ppf points =
+  Format.fprintf ppf "%-12s %-10s %-12s %-14s %-10s@\n" "max_weight" "fpgas"
+    "pins(hard)" "pins(virtual)" "base CP";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-12d %-10d %-12d %-14s %-10d@\n" p.max_block_weight
+        p.fpga_count p.pins_hard
+        (match p.pins_virtual with
+        | Some v -> string_of_int v
+        | None -> "infeasible")
+        p.base_length)
+    points

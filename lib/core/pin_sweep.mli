@@ -1,0 +1,45 @@
+(** Figure 8 reproduction: FPGA count vs per-FPGA pin count, hard routing
+    vs virtual routing.
+
+    "Hard routing" is the figure's classic Virtual-Wires sense: every
+    crossing signal occupies a dedicated point-to-point wire, costing one
+    pin per endpoint and no time multiplexing — so a partition's pin demand
+    is simply its worst-case crossing count, a hard floor.
+
+    "Virtual routing" multiplexes signals over shared wires, trading pins
+    for schedule length.  Its pin demand for a partition is the smallest
+    per-FPGA pin budget (from a candidate list) at which the design still
+    compiles with a critical path within a slack factor of the
+    unconstrained schedule.
+
+    Sweeping the partition size reproduces the figure: under a fixed
+    per-FPGA pin limit (240 user IOs on the paper's Xilinx 4062s), hard
+    routing forces much smaller partitions — many more FPGAs — than
+    virtual routing. *)
+
+type point = {
+  max_block_weight : int;
+  fpga_count : int;
+  pins_hard : int;  (** Dedicated-wire pin demand (worst FPGA). *)
+  pins_virtual : int option;
+      (** Smallest feasible pin budget under the slack criterion; [None]
+          when even the largest candidate fails. *)
+  base_length : int;  (** Critical path with unconstrained pins. *)
+}
+
+val sweep :
+  ?options:Compile.options ->
+  ?weights:int list ->
+  ?pin_candidates:int list ->
+  ?slack:float ->
+  Msched_netlist.Netlist.t ->
+  point list
+(** Defaults: weights [256; 128; 64; 32], candidates
+    [160; 96; 64; 48; 32; 24; 16], slack 1.5. *)
+
+val min_fpgas_under_pin_limit :
+  point list -> pin_limit:int -> hard:bool -> int option
+(** The smallest FPGA count among sweep points whose pin demand fits the
+    limit — the quantity Figure 8 plots. *)
+
+val pp_points : Format.formatter -> point list -> unit

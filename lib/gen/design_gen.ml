@@ -1,0 +1,436 @@
+open Msched_netlist
+module B = Netlist.Builder
+
+type design = {
+  netlist : Netlist.t;
+  design_label : string;
+  modules : int;
+  mts_modules : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Paper Figure 1: Q transitions and is sampled in both domains.       *)
+
+let fig1 () =
+  let b = B.create ~design_name:"fig1" () in
+  let d1 = B.add_domain b "clk1" and d2 = B.add_domain b "clk2" in
+  let n1 = B.add_input b ~name:"N1" ~domain:d1 () in
+  let n2 = B.add_input b ~name:"N2" ~domain:d2 () in
+  let ff1 = B.add_flip_flop b ~name:"FF1" ~data:n1 ~clock:(Cell.Dom_clock d1) () in
+  let ff2 = B.add_flip_flop b ~name:"FF2" ~data:n2 ~clock:(Cell.Dom_clock d2) () in
+  let n3 = B.add_gate b ~name:"N3" Cell.Buf [ ff1 ] in
+  let n4 = B.add_gate b ~name:"N4" Cell.Buf [ ff2 ] in
+  let q = B.add_gate b ~name:"Q" Cell.And [ n3; n4 ] in
+  let n6 = B.add_gate b ~name:"N6" Cell.Buf [ q ] in
+  let n7 = B.add_gate b ~name:"N7" Cell.Buf [ q ] in
+  let ff3 = B.add_flip_flop b ~name:"FF3" ~data:n6 ~clock:(Cell.Dom_clock d1) () in
+  let ff4 = B.add_flip_flop b ~name:"FF4" ~data:n7 ~clock:(Cell.Dom_clock d2) () in
+  let (_ : Ids.Cell.t) = B.add_output b ~name:"O1" ff3 in
+  let (_ : Ids.Cell.t) = B.add_output b ~name:"O2" ff4 in
+  {
+    netlist = B.finalize b;
+    design_label = "fig1";
+    modules = 1;
+    mts_modules = 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Paper Figure 3: an MTS latch with logic on both Data and Gate.      *)
+
+let fig3_latch () =
+  let b = B.create ~design_name:"fig3_latch" () in
+  let d1 = B.add_domain b "clk1" and d2 = B.add_domain b "clk2" in
+  let i1 = B.add_input b ~name:"I1" ~domain:d1 () in
+  let i2 = B.add_input b ~name:"I2" ~domain:d2 () in
+  let fa = B.add_flip_flop b ~name:"FA" ~data:i1 ~clock:(Cell.Dom_clock d1) () in
+  let fb = B.add_flip_flop b ~name:"FB" ~data:i2 ~clock:(Cell.Dom_clock d2) () in
+  let fa2 = B.add_flip_flop b ~name:"FA2" ~data:fa ~clock:(Cell.Dom_clock d1) () in
+  let fb2 = B.add_flip_flop b ~name:"FB2" ~data:fb ~clock:(Cell.Dom_clock d2) () in
+  (* Data: two levels of logic mixing both domains. *)
+  let dmix = B.add_gate b ~name:"DMIX" Cell.Xor [ fa; fb ] in
+  let data = B.add_gate b ~name:"DATA" Cell.And [ dmix; fa2 ] in
+  (* Gate: one signal per domain, so a single clock edge never races two
+     gate-path inputs (a same-domain race would make the latch behavior
+     timing-dependent even in real hardware). *)
+  let gate = B.add_gate b ~name:"GATE" Cell.Or [ fa2; fb2 ] in
+  let q =
+    B.add_latch b ~name:"MTSL" ~data ~gate:(Cell.Net_trigger gate) ()
+  in
+  let s1 = B.add_flip_flop b ~name:"S1" ~data:q ~clock:(Cell.Dom_clock d1) () in
+  let s2 = B.add_flip_flop b ~name:"S2" ~data:q ~clock:(Cell.Dom_clock d2) () in
+  let (_ : Ids.Cell.t) = B.add_output b ~name:"O1" s1 in
+  let (_ : Ids.Cell.t) = B.add_output b ~name:"O2" s2 in
+  {
+    netlist = B.finalize b;
+    design_label = "fig3_latch";
+    modules = 1;
+    mts_modules = 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Two-flop-synchronizer handshake: correct CDC, no MTS latches.       *)
+
+let handshake () =
+  let b = B.create ~design_name:"handshake" () in
+  let da = B.add_domain b "clk_send" and db = B.add_domain b "clk_recv" in
+  let start = B.add_input b ~name:"start" ~domain:da () in
+  (* Sender: toggle req when start is high and ack returned. *)
+  let req = B.fresh_net b ~name:"req" () in
+  let ack_sync2 = B.fresh_net b ~name:"ack_sync2" () in
+  let fire = B.add_gate b ~name:"fire" Cell.And [ start; ack_sync2 ] in
+  let req_next = B.add_gate b ~name:"req_next" Cell.Xor [ req; fire ] in
+  B.add_flip_flop_to b ~name:"req_ff" ~data:req_next
+    ~clock:(Cell.Dom_clock da) ~output:req ();
+  (* Data payload registered in the sender's domain. *)
+  let payload =
+    List.init 4 (fun i ->
+        let src = B.add_input b ~name:(Printf.sprintf "din%d" i) ~domain:da () in
+        B.add_flip_flop b
+          ~name:(Printf.sprintf "data_ff%d" i)
+          ~data:src ~clock:(Cell.Dom_clock da) ())
+  in
+  (* Receiver: two-flop synchronizer on req. *)
+  let sync1 =
+    B.add_flip_flop b ~name:"sync1" ~data:req ~clock:(Cell.Dom_clock db) ()
+  in
+  let sync2 =
+    B.add_flip_flop b ~name:"sync2" ~data:sync1 ~clock:(Cell.Dom_clock db) ()
+  in
+  let sync3 =
+    B.add_flip_flop b ~name:"sync3" ~data:sync2 ~clock:(Cell.Dom_clock db) ()
+  in
+  let new_req = B.add_gate b ~name:"new_req" Cell.Xor [ sync2; sync3 ] in
+  (* Capture payload into the receiver's domain when a new req lands. *)
+  let captured =
+    List.mapi
+      (fun i d ->
+        let cur = B.fresh_net b ~name:(Printf.sprintf "cap%d" i) () in
+        let nxt =
+          B.add_gate b ~name:(Printf.sprintf "capmux%d" i) Cell.Mux
+            [ new_req; cur; d ]
+        in
+        B.add_flip_flop_to b
+          ~name:(Printf.sprintf "cap_ff%d" i)
+          ~data:nxt ~clock:(Cell.Dom_clock db) ~output:cur ();
+        cur)
+      payload
+  in
+  (* Ack path back through a two-flop synchronizer in the sender. *)
+  let ack =
+    B.add_flip_flop b ~name:"ack_ff" ~data:sync2 ~clock:(Cell.Dom_clock db) ()
+  in
+  let ack_sync1 =
+    B.add_flip_flop b ~name:"ack_sync1" ~data:ack ~clock:(Cell.Dom_clock da) ()
+  in
+  B.add_flip_flop_to b ~name:"ack_sync2_ff" ~data:ack_sync1
+    ~clock:(Cell.Dom_clock da) ~output:ack_sync2 ();
+  List.iteri
+    (fun i c ->
+      let (_ : Ids.Cell.t) = B.add_output b ~name:(Printf.sprintf "dout%d" i) c in
+      ())
+    captured;
+  {
+    netlist = B.finalize b;
+    design_label = "handshake";
+    modules = 2;
+    mts_modules = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Random module-structured designs.                                   *)
+
+type gen_state = {
+  rng : Random.State.t;
+  builder : B.t;
+  doms : Ids.Dom.t array;
+  pools : Ids.Net.t list array;  (* registered nets per domain *)
+  mutable outputs_made : int;
+}
+
+let pool_pick st d =
+  match st.pools.(d) with
+  | [] ->
+      let n =
+        B.add_input st.builder ~domain:st.doms.(d)
+          ~name:(Printf.sprintf "pi_d%d_%d" d (Random.State.int st.rng 10000))
+          ()
+      in
+      st.pools.(d) <- n :: st.pools.(d);
+      n
+  | pool -> List.nth pool (Random.State.int st.rng (List.length pool))
+
+let pool_add st d n =
+  (* Bound pool size so wiring stays local-ish. *)
+  let pool = n :: st.pools.(d) in
+  st.pools.(d) <-
+    (if List.length pool > 64 then List.filteri (fun i _ -> i < 64) pool
+     else pool)
+
+let random_gate st nets =
+  let kinds = [| Cell.And; Cell.Or; Cell.Xor; Cell.Nand; Cell.Nor |] in
+  let kind = kinds.(Random.State.int st.rng (Array.length kinds)) in
+  let arity = match Cell.gate_arity kind with Some a -> a | None -> 2 in
+  let pick () = List.nth nets (Random.State.int st.rng (List.length nets)) in
+  B.add_gate st.builder kind (List.init arity (fun _ -> pick ()))
+
+let regular_module st d ~gates ~ffs ~fanin =
+  let ins = List.init fanin (fun _ -> pool_pick st d) in
+  let local = ref ins in
+  for _ = 1 to gates do
+    let g = random_gate st !local in
+    local := g :: !local
+  done;
+  for _ = 1 to ffs do
+    let data = List.nth !local (Random.State.int st.rng (List.length !local)) in
+    let q =
+      B.add_flip_flop st.builder ~data ~clock:(Cell.Dom_clock st.doms.(d)) ()
+    in
+    local := q :: !local;
+    pool_add st d q
+  done;
+  if st.outputs_made < 32 && Random.State.int st.rng 10 = 0 then begin
+    let n = List.nth !local (Random.State.int st.rng (List.length !local)) in
+    let (_ : Ids.Cell.t) = st.builder |> fun b -> B.add_output b n in
+    st.outputs_made <- st.outputs_made + 1
+  end
+
+(* An MTS module mixing domains [da] and [db]: an MTS latch whose data and
+   gate both combine signals from the two domains, plus a raw MTS net
+   sampled back in both domains (the Figure 1 pattern). *)
+let mts_module st da db =
+  let a1 = pool_pick st da and a2 = pool_pick st da in
+  let b1 = pool_pick st db and b2 = pool_pick st db in
+  let data = B.add_gate st.builder Cell.Xor [ a1; b1 ] in
+  (* One gate-path signal per domain: same-edge gate races are design bugs
+     the paper's flow does not (and cannot) repair. *)
+  let gate = B.add_gate st.builder Cell.Or [ a2; b2 ] in
+  let q = B.add_latch st.builder ~data ~gate:(Cell.Net_trigger gate) () in
+  let sa =
+    B.add_flip_flop st.builder ~data:q ~clock:(Cell.Dom_clock st.doms.(da)) ()
+  in
+  let sb =
+    B.add_flip_flop st.builder ~data:q ~clock:(Cell.Dom_clock st.doms.(db)) ()
+  in
+  pool_add st da sa;
+  pool_add st db sb;
+  (* A plain MTS net (no latch) sampled in both domains. *)
+  let m = B.add_gate st.builder Cell.And [ a1; b2 ] in
+  let ma =
+    B.add_flip_flop st.builder ~data:m ~clock:(Cell.Dom_clock st.doms.(da)) ()
+  in
+  let mb =
+    B.add_flip_flop st.builder ~data:m ~clock:(Cell.Dom_clock st.doms.(db)) ()
+  in
+  pool_add st da ma;
+  pool_add st db mb
+
+(* A memory module: a [width]-bit word RAM written by domain [da] and read
+   by domain [db], so every read-data net is multi-transition (write clock
+   plus read-address domains).  Memory transactions dominate the critical
+   path the way the paper describes for Design2: addresses go through
+   ripple-carry increment chains, and the write data is a read-modify-write
+   of the previous read, so paths run input → address chain → RAM → modify
+   chain → RAM. *)
+let memory_module st da db ~addr_bits ~width =
+  let bit d = pool_pick st d in
+  (* Ripple-carry incrementer: the RAM is addressed by the combinational
+     next-address (sum) bits, so each access pays the full carry chain —
+     the long memory-transaction paths that dominate Design2's critical
+     path in the paper. *)
+  let counter_chain d =
+    let carry0 = bit d in
+    let rec go i carry acc =
+      if i >= addr_bits then List.rev acc
+      else begin
+        let q = B.fresh_net st.builder () in
+        let sum = B.add_gate st.builder Cell.Xor [ q; carry ] in
+        let carry' = B.add_gate st.builder Cell.And [ q; carry ] in
+        B.add_flip_flop_to st.builder ~data:sum
+          ~clock:(Cell.Dom_clock st.doms.(d))
+          ~output:q ();
+        go (i + 1) carry' (sum :: acc)
+      end
+    in
+    go 0 carry0 []
+  in
+  let write_addr = counter_chain da in
+  let read_addr = counter_chain db in
+  let we = bit da in
+  (* Combinational read-modify-write, chained across the data bits like a
+     carry: bit i's write-back depends on bit i-1's modified read, so a
+     memory transaction pays RAM-read + a [width]-deep modify chain before
+     the write deadline. *)
+  let carry = ref (bit da) in
+  let rdatas =
+    List.init width (fun _ ->
+        let wdata = B.fresh_net st.builder () in
+        let rdata =
+          B.add_ram st.builder ~addr_bits ~write_enable:we ~write_data:wdata
+            ~write_addr ~read_addr
+            ~clock:(Cell.Dom_clock st.doms.(da))
+            ()
+        in
+        let mix = B.add_gate st.builder Cell.Xor [ rdata; !carry ] in
+        carry := mix;
+        B.add_gate_to st.builder Cell.Buf [ mix ] ~output:wdata;
+        rdata)
+  in
+  List.iter
+    (fun rdata ->
+      let sb =
+        B.add_flip_flop st.builder ~data:rdata
+          ~clock:(Cell.Dom_clock st.doms.(db))
+          ()
+      in
+      pool_add st db sb)
+    rdatas;
+  match rdatas with
+  | first :: _ ->
+      let sa =
+        B.add_flip_flop st.builder ~data:first
+          ~clock:(Cell.Dom_clock st.doms.(da))
+          ()
+      in
+      pool_add st da sa
+  | [] -> ()
+
+(* A flip-flop on a race-free derived clock mixing two domains: the
+   compiler rewrites it into a master/slave latch pair. *)
+let mts_ff_module st da db =
+  let a = pool_pick st da and b = pool_pick st db in
+  let dclk = B.add_gate st.builder Cell.Or [ a; b ] in
+  let data = pool_pick st da in
+  let q = B.add_flip_flop st.builder ~data ~clock:(Cell.Net_trigger dclk) () in
+  let sa =
+    B.add_flip_flop st.builder ~data:q ~clock:(Cell.Dom_clock st.doms.(da)) ()
+  in
+  let sb =
+    B.add_flip_flop st.builder ~data:q ~clock:(Cell.Dom_clock st.doms.(db)) ()
+  in
+  pool_add st da sa;
+  pool_add st db sb
+
+(* A RAM whose write clock mixes two domains — the paper's "memories under
+   test" future work, handled by the write-port-as-latch extension. *)
+let xwrite_ram_module st da db ~addr_bits =
+  let a = pool_pick st da and b = pool_pick st db in
+  let wclk = B.add_gate st.builder Cell.Or [ a; b ] in
+  let we = pool_pick st da in
+  let wdata = pool_pick st da in
+  let write_addr = List.init addr_bits (fun _ -> pool_pick st da) in
+  let read_addr = List.init addr_bits (fun _ -> pool_pick st db) in
+  let rdata =
+    B.add_ram st.builder ~addr_bits ~write_enable:we ~write_data:wdata
+      ~write_addr ~read_addr ~clock:(Cell.Net_trigger wclk) ()
+  in
+  let sb =
+    B.add_flip_flop st.builder ~data:rdata ~clock:(Cell.Dom_clock st.doms.(db)) ()
+  in
+  pool_add st db sb
+
+let generate ~label ~seed ~domains ~modules ~mts_fraction ~mem_fraction
+    ~gates_per_module ~ffs_per_module ~addr_bits ~mem_width ~fanin ~mts_ffs
+    ~xwrite_rams =
+  if domains < 1 then invalid_arg "generate: domains";
+  if modules < 1 then invalid_arg "generate: modules";
+  let builder = B.create ~design_name:label () in
+  let doms =
+    Array.init domains (fun i ->
+        B.add_domain builder (Printf.sprintf "clk%d" i))
+  in
+  (* Materialize clock nets so gated-clock logic is expressible later and
+     clock distribution is explicit in the netlist. *)
+  Array.iter
+    (fun d ->
+      let (_ : Ids.Net.t) = B.add_clock_source builder d in
+      ())
+    doms;
+  let st =
+    {
+      rng = Random.State.make [| seed; domains; modules |];
+      builder;
+      doms;
+      pools = Array.make domains [];
+      outputs_made = 0;
+    }
+  in
+  (* Seed each domain pool with registered inputs. *)
+  for d = 0 to domains - 1 do
+    for _ = 1 to 3 do
+      let i = B.add_input builder ~domain:doms.(d) () in
+      let q =
+        B.add_flip_flop builder ~data:i ~clock:(Cell.Dom_clock doms.(d)) ()
+      in
+      pool_add st d q
+    done
+  done;
+  let n_mts = int_of_float (ceil (mts_fraction *. float_of_int modules)) in
+  let n_mem = int_of_float (ceil (mem_fraction *. float_of_int modules)) in
+  let n_mts = min n_mts modules in
+  let n_mem = min n_mem (modules - n_mts) in
+  let mts_modules = ref 0 in
+  for m = 0 to modules - 1 do
+    if domains >= 2 && m < n_mts then begin
+      let da = Random.State.int st.rng domains in
+      let db = (da + 1 + Random.State.int st.rng (domains - 1)) mod domains in
+      mts_module st da db;
+      incr mts_modules
+    end
+    else if domains >= 2 && m < n_mts + n_mem then begin
+      let da = Random.State.int st.rng domains in
+      let db = (da + 1 + Random.State.int st.rng (domains - 1)) mod domains in
+      memory_module st da db ~addr_bits ~width:mem_width;
+      incr mts_modules
+    end
+    else
+      regular_module st
+        (Random.State.int st.rng domains)
+        ~gates:gates_per_module ~ffs:ffs_per_module ~fanin
+  done;
+  if domains >= 2 then begin
+    for _ = 1 to mts_ffs do
+      let da = Random.State.int st.rng domains in
+      let db = (da + 1 + Random.State.int st.rng (domains - 1)) mod domains in
+      mts_ff_module st da db
+    done;
+    for _ = 1 to xwrite_rams do
+      let da = Random.State.int st.rng domains in
+      let db = (da + 1 + Random.State.int st.rng (domains - 1)) mod domains in
+      xwrite_ram_module st da db ~addr_bits:2
+    done
+  end;
+  (* Make sure every domain pool head is observed. *)
+  for d = 0 to domains - 1 do
+    match st.pools.(d) with
+    | n :: _ ->
+        let (_ : Ids.Cell.t) = B.add_output builder n in
+        ()
+    | [] -> ()
+  done;
+  {
+    netlist = B.finalize builder;
+    design_label = label;
+    modules;
+    mts_modules = !mts_modules;
+  }
+
+let random_multidomain ?(seed = 11) ?(gates_per_module = 8)
+    ?(ffs_per_module = 3) ?(mts_ffs = 0) ?(xwrite_rams = 0) ~domains ~modules
+    ~mts_fraction () =
+  generate ~label:"random_multidomain" ~seed ~domains ~modules ~mts_fraction
+    ~mem_fraction:0.0 ~gates_per_module ~ffs_per_module ~addr_bits:4
+    ~mem_width:2 ~fanin:3 ~mts_ffs ~xwrite_rams
+
+let design1_like ?(seed = 101) ?(scale = 0.1) () =
+  let modules = max 8 (int_of_float (3341.0 *. scale)) in
+  generate ~label:"design1_like" ~seed ~domains:3 ~modules
+    ~mts_fraction:(28.0 /. 3341.0) ~mem_fraction:(4.0 /. 3341.0)
+    ~gates_per_module:8 ~ffs_per_module:3 ~addr_bits:4 ~mem_width:2 ~fanin:4
+    ~mts_ffs:0 ~xwrite_rams:0
+
+let design2_like ?(seed = 202) ?(scale = 0.1) () =
+  let modules = max 8 (int_of_float (2008.0 *. scale)) in
+  generate ~label:"design2_like" ~seed ~domains:2 ~modules
+    ~mts_fraction:(47.0 /. 2008.0) ~mem_fraction:(89.0 /. 2008.0)
+    ~gates_per_module:6 ~ffs_per_module:2 ~addr_bits:6 ~mem_width:4 ~fanin:4
+    ~mts_ffs:0 ~xwrite_rams:0

@@ -1,0 +1,57 @@
+(** Synthetic benchmark designs.
+
+    The paper evaluates on two proprietary ASICs; these seeded generators
+    produce designs with the same structural features (module counts, domain
+    counts, MTS fractions, memory traffic) so the experiments exercise the
+    same compiler paths.  All generators are deterministic in their seed. *)
+
+open Msched_netlist
+
+type design = {
+  netlist : Netlist.t;
+  design_label : string;
+  modules : int;  (** Design modules (Table 1 row 1). *)
+  mts_modules : int;  (** Modules containing MTS logic (row 2). *)
+}
+
+val fig1 : unit -> design
+(** The paper's Figure 1: two asynchronous domains, a gate whose output is a
+    Multi Transition and Sample net, sampled back in both domains. *)
+
+val fig3_latch : unit -> design
+(** The paper's Figure 3: an MTS latch with combinational logic from two
+    domains on both its data and gate paths, split across a partition. *)
+
+val handshake : unit -> design
+(** Req/ack handshake between two asynchronous domains with two-flop
+    synchronizers — the classic correct CDC idiom, useful as a design that
+    must compile and simulate with full fidelity. *)
+
+val random_multidomain :
+  ?seed:int ->
+  ?gates_per_module:int ->
+  ?ffs_per_module:int ->
+  ?mts_ffs:int ->
+  ?xwrite_rams:int ->
+  domains:int ->
+  modules:int ->
+  mts_fraction:float ->
+  unit ->
+  design
+(** Module-structured multi-domain design.  Each module lives in one domain;
+    an [mts_fraction] of modules contain MTS latches whose data and gate mix
+    two domains, plus MTS nets sampled in both.  [mts_ffs] adds flip-flops
+    clocked by race-free derived clocks mixing two domains (rewritten to
+    master/slave pairs by the compiler); [xwrite_rams] adds RAMs whose write
+    clock mixes two domains (the future-work extension).  Both default
+    to 0. *)
+
+val design1_like : ?seed:int -> ?scale:float -> unit -> design
+(** Design1 analogue: 3 clock domains, logic-dominated, small MTS fraction
+    (paper: 3341 modules, 28 MTS modules, 44 MTS paths). [scale] shrinks the
+    module count for fast tests (default 0.1). *)
+
+val design2_like : ?seed:int -> ?scale:float -> unit -> design
+(** Design2 analogue: 2 clock domains, RAM-transaction-dominated, larger MTS
+    fraction (paper: 2008 modules, 87 MTS modules, 116 MTS paths, many
+    memory modules). *)

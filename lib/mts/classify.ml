@@ -1,0 +1,64 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+
+type t = {
+  mts_nets : Ids.Net.Set.t;
+  mts_gates : Ids.Cell.Set.t;
+  mts_states : Ids.Cell.Set.t;
+  mts_blocks : Ids.Block.Set.t;
+  mts_crossings : (Ids.Net.t * Ids.Block.t) list;
+}
+
+let compute part analysis =
+  let nl = Partition.netlist part in
+  let mts_nets = ref Ids.Net.Set.empty in
+  Netlist.iter_nets nl (fun n _ ->
+      if Domain_analysis.is_multi_transition analysis n then
+        mts_nets := Ids.Net.Set.add n !mts_nets);
+  let mts_gates = ref Ids.Cell.Set.empty in
+  let mts_states = ref Ids.Cell.Set.empty in
+  let mts_blocks = ref Ids.Block.Set.empty in
+  Netlist.iter_cells nl (fun c ->
+      if Domain_analysis.is_mts_gate analysis nl c then begin
+        mts_gates := Ids.Cell.Set.add c.Cell.id !mts_gates;
+        mts_blocks := Ids.Block.Set.add (Partition.block_of_cell part c.Cell.id) !mts_blocks
+      end;
+      if Domain_analysis.is_mts_state analysis c then begin
+        mts_states := Ids.Cell.Set.add c.Cell.id !mts_states;
+        mts_blocks := Ids.Block.Set.add (Partition.block_of_cell part c.Cell.id) !mts_blocks
+      end);
+  let mts_crossings = ref [] in
+  List.iter
+    (fun net ->
+      if Domain_analysis.is_multi_transition analysis net then begin
+        let src = Partition.block_of_cell part (Netlist.driver nl net).Cell.id in
+        mts_blocks := Ids.Block.Set.add src !mts_blocks;
+        List.iter
+          (fun (b, _terms) ->
+            mts_blocks := Ids.Block.Set.add b !mts_blocks;
+            mts_crossings := (net, b) :: !mts_crossings)
+          (Partition.foreign_consumers part net)
+      end)
+    (Partition.crossing_nets part);
+  {
+    mts_nets = !mts_nets;
+    mts_gates = !mts_gates;
+    mts_states = !mts_states;
+    mts_blocks = !mts_blocks;
+    mts_crossings = List.rev !mts_crossings;
+  }
+
+let num_mts_blocks t = Ids.Block.Set.cardinal t.mts_blocks
+
+let num_non_mts_blocks part t =
+  Partition.num_blocks part - num_mts_blocks t
+
+let num_mts_paths t = List.length t.mts_crossings
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "MTS: %d nets, %d gates, %d states, %d blocks, %d crossing paths"
+    (Ids.Net.Set.cardinal t.mts_nets)
+    (Ids.Cell.Set.cardinal t.mts_gates)
+    (Ids.Cell.Set.cardinal t.mts_states)
+    (num_mts_blocks t) (num_mts_paths t)

@@ -1,0 +1,23 @@
+(** MTS classification over a partitioned design (paper Section 4 definitions
+    plus the Table 1 counting rows). *)
+
+open Msched_netlist
+
+type t = {
+  mts_nets : Ids.Net.Set.t;  (** Multi-transition nets. *)
+  mts_gates : Ids.Cell.Set.t;
+  mts_states : Ids.Cell.Set.t;  (** Latches/FFs with multi-domain triggers. *)
+  mts_blocks : Ids.Block.Set.t;
+      (** Blocks containing MTS logic or touched by an MTS crossing. *)
+  mts_crossings : (Ids.Net.t * Ids.Block.t) list;
+      (** Multi-transition (net, destination block) pairs — the paper's
+          "MTS paths". *)
+}
+
+val compute :
+  Msched_partition.Partition.t -> Domain_analysis.t -> t
+
+val num_mts_blocks : t -> int
+val num_non_mts_blocks : Msched_partition.Partition.t -> t -> int
+val num_mts_paths : t -> int
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type gate = And | Or | Nand | Nor | Xor | Xnor | Not | Buf | Mux
+
+let gate_arity = function
+  | And | Or | Nand | Nor -> None
+  | Xor | Xnor -> Some 2
+  | Not | Buf -> Some 1
+  | Mux -> Some 3
+
+let pp_gate ppf g =
+  let s =
+    match g with
+    | And -> "and"
+    | Or -> "or"
+    | Nand -> "nand"
+    | Nor -> "nor"
+    | Xor -> "xor"
+    | Xnor -> "xnor"
+    | Not -> "not"
+    | Buf -> "buf"
+    | Mux -> "mux"
+  in
+  Format.pp_print_string ppf s
+
+let check_arity g inputs =
+  let n = Array.length inputs in
+  match gate_arity g with
+  | Some a when a <> n ->
+      invalid_arg
+        (Format.asprintf "gate %a expects %d inputs, got %d" pp_gate g a n)
+  | Some _ -> ()
+  | None -> if n < 1 then invalid_arg "variadic gate needs at least one input"
+
+let eval_gate g inputs =
+  check_arity g inputs;
+  let all = Array.for_all Fun.id inputs in
+  let any = Array.exists Fun.id inputs in
+  match g with
+  | And -> all
+  | Or -> any
+  | Nand -> not all
+  | Nor -> not any
+  | Xor -> inputs.(0) <> inputs.(1)
+  | Xnor -> inputs.(0) = inputs.(1)
+  | Not -> not inputs.(0)
+  | Buf -> inputs.(0)
+  | Mux -> if inputs.(0) then inputs.(2) else inputs.(1)
+
+type trigger = Dom_clock of Ids.Dom.t | Net_trigger of Ids.Net.t
+
+type kind =
+  | Gate of gate
+  | Latch of { active_high : bool }
+  | Flip_flop
+  | Ram of { addr_bits : int }
+  | Input of { domain : Ids.Dom.t option }
+  | Clock_source of Ids.Dom.t
+  | Output
+
+type t = {
+  id : Ids.Cell.t;
+  kind : kind;
+  data_inputs : Ids.Net.t array;
+  trigger : trigger option;
+  output : Ids.Net.t option;
+  name : string;
+}
+
+let is_sequential c =
+  match c.kind with
+  | Latch _ | Flip_flop | Ram _ -> true
+  | Gate _ | Input _ | Clock_source _ | Output -> false
+
+let is_combinational c =
+  match c.kind with
+  | Gate _ -> true
+  | Latch _ | Flip_flop | Ram _ | Input _ | Clock_source _ | Output -> false
+
+let is_source c =
+  match c.kind with
+  | Input _ | Clock_source _ -> true
+  | Gate _ | Latch _ | Flip_flop | Ram _ | Output -> false
+
+let ram_words ~addr_bits =
+  if addr_bits < 0 || addr_bits > 20 then invalid_arg "ram_words: addr_bits";
+  1 lsl addr_bits
+
+let pp_kind ppf = function
+  | Gate g -> pp_gate ppf g
+  | Latch { active_high } ->
+      Format.fprintf ppf "latch(%s)" (if active_high then "high" else "low")
+  | Flip_flop -> Format.pp_print_string ppf "dff"
+  | Ram { addr_bits } -> Format.fprintf ppf "ram(%d words)" (1 lsl addr_bits)
+  | Input { domain = None } -> Format.pp_print_string ppf "input"
+  | Input { domain = Some d } -> Format.fprintf ppf "input@%a" Ids.Dom.pp d
+  | Clock_source d -> Format.fprintf ppf "clock@%a" Ids.Dom.pp d
+  | Output -> Format.pp_print_string ppf "output"
+
+let pp ppf c =
+  Format.fprintf ppf "%a:%s[%a]" Ids.Cell.pp c.id c.name pp_kind c.kind

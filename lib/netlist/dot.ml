@@ -1,0 +1,77 @@
+let domain_colors =
+  [| "lightblue"; "lightsalmon"; "palegreen"; "plum"; "khaki"; "lightcyan" |]
+
+let shape_of (c : Cell.t) =
+  match c.Cell.kind with
+  | Cell.Gate _ -> "ellipse"
+  | Cell.Latch _ -> "diamond"
+  | Cell.Flip_flop -> "box"
+  | Cell.Ram _ -> "box3d"
+  | Cell.Input _ | Cell.Clock_source _ -> "invtriangle"
+  | Cell.Output -> "triangle"
+
+let color_of nl (c : Cell.t) =
+  let dom_of_trigger () =
+    match c.Cell.trigger with
+    | Some (Cell.Dom_clock d) -> Some d
+    | Some (Cell.Net_trigger _) | None -> None
+  in
+  let d =
+    match c.Cell.kind with
+    | Cell.Input { domain } -> domain
+    | Cell.Clock_source d -> Some d
+    | Cell.Latch _ | Cell.Flip_flop | Cell.Ram _ -> dom_of_trigger ()
+    | Cell.Gate _ | Cell.Output -> None
+  in
+  ignore nl;
+  match d with
+  | Some d -> domain_colors.(Ids.Dom.to_int d mod Array.length domain_colors)
+  | None -> "white"
+
+let node_id (c : Cell.t) = Printf.sprintf "c%d" (Ids.Cell.to_int c.Cell.id)
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let output ?(cluster = fun _ -> None) ppf nl =
+  let line fmt = Format.fprintf ppf fmt in
+  line "digraph %s {@\n" (escape (Netlist.design_name nl));
+  line "  rankdir=LR;@\n  node [style=filled];@\n";
+  (* Group cells by cluster. *)
+  let clusters : (int, Cell.t list) Hashtbl.t = Hashtbl.create 16 in
+  let toplevel = ref [] in
+  Netlist.iter_cells nl (fun c ->
+      match cluster c.Cell.id with
+      | Some k ->
+          Hashtbl.replace clusters k
+            (c :: Option.value ~default:[] (Hashtbl.find_opt clusters k))
+      | None -> toplevel := c :: !toplevel);
+  let emit_cell (c : Cell.t) =
+    line "    %s [label=\"%s\\n%s\" shape=%s fillcolor=%s];@\n" (node_id c)
+      (escape c.Cell.name)
+      (escape (Format.asprintf "%a" Cell.pp_kind c.Cell.kind))
+      (shape_of c) (color_of nl c)
+  in
+  Hashtbl.iter
+    (fun k cells ->
+      line "  subgraph cluster_%d {@\n    label=\"block %d\";@\n" k k;
+      List.iter emit_cell (List.rev cells);
+      line "  }@\n")
+    clusters;
+  List.iter emit_cell (List.rev !toplevel);
+  (* Edges: driver -> each consumer; trigger edges dashed. *)
+  Netlist.iter_nets nl (fun _n ni ->
+      let src = Netlist.cell nl ni.Netlist.driver in
+      Array.iter
+        (fun (tm : Netlist.term) ->
+          let dst = Netlist.cell nl tm.Netlist.term_cell in
+          let style =
+            match tm.Netlist.term_pin with
+            | Netlist.Trigger_pin -> " [style=dashed]"
+            | Netlist.Data_pin _ -> ""
+          in
+          line "  %s -> %s%s;@\n" (node_id src) (node_id dst) style)
+        ni.Netlist.fanouts);
+  line "}@\n"
+
+let to_string ?cluster nl = Format.asprintf "%a" (output ?cluster) nl

@@ -1,0 +1,15 @@
+(** Graphviz DOT export for netlists.
+
+    Cells become nodes (shaped by kind, colored by trigger domain), nets
+    become edges from driver to each consumer.  Useful for eyeballing small
+    designs and partition results. *)
+
+val output :
+  ?cluster:(Ids.Cell.t -> int option) ->
+  Format.formatter ->
+  Netlist.t ->
+  unit
+(** [cluster] assigns cells to DOT subgraph clusters (e.g. partition
+    blocks); cells mapped to [None] stay at top level. *)
+
+val to_string : ?cluster:(Ids.Cell.t -> int option) -> Netlist.t -> string

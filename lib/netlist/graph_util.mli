@@ -1,0 +1,7 @@
+(** Small graph utilities shared across the compiler. *)
+
+val sccs : int -> (int -> int list) -> int list list
+(** [sccs n succ] — Tarjan's strongly connected components of the digraph on
+    vertices [0 .. n-1].  The returned component list is in topological order
+    of the condensation, edge sources first; vertices inside a component are
+    in discovery order. *)

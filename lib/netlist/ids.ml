@@ -1,0 +1,70 @@
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module Make (P : sig
+  val prefix : string
+end) : S = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg (P.prefix ^ " id must be non-negative");
+    i
+
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash = Hashtbl.hash
+  let pp ppf i = Format.fprintf ppf "%s%d" P.prefix i
+
+  module Key = struct
+    type nonrec t = t
+
+    let compare = compare
+    let equal = equal
+    let hash = hash
+  end
+
+  module Set = Set.Make (Key)
+  module Map = Map.Make (Key)
+  module Tbl = Hashtbl.Make (Key)
+end
+
+module Net = Make (struct
+  let prefix = "n"
+end)
+
+module Cell = Make (struct
+  let prefix = "c"
+end)
+
+module Dom = Make (struct
+  let prefix = "d"
+end)
+
+module Block = Make (struct
+  let prefix = "b"
+end)
+
+module Fpga = Make (struct
+  let prefix = "f"
+end)
+
+module Wire = Make (struct
+  let prefix = "w"
+end)
+
+module Link = Make (struct
+  let prefix = "l"
+end)

@@ -1,0 +1,51 @@
+(** Typed integer identifiers for the netlist and emulation-system domains.
+
+    Every entity (net, cell, clock domain, partition block, FPGA, physical
+    wire, route-link) gets its own abstract id type so that indices cannot be
+    mixed up across tables.  Ids are dense: they are allocated consecutively
+    from 0 by the builders, which makes them usable as array indices via
+    {!S.to_int}. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  (** [of_int i] casts a raw index. Raises [Invalid_argument] if [i < 0]. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints as [<prefix><index>], e.g. [n42]. *)
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module Make (_ : sig
+  val prefix : string
+end) : S
+
+module Net : S
+(** Single-bit signal nets. *)
+
+module Cell : S
+(** Netlist primitives (gates, latches, flip-flops, RAMs, ports). *)
+
+module Dom : S
+(** Clock domains. *)
+
+module Block : S
+(** FPGA-sized partitions produced by the partitioner. *)
+
+module Fpga : S
+(** Physical FPGAs of the emulation system. *)
+
+module Wire : S
+(** Physical inter-FPGA wires. *)
+
+module Link : S
+(** Route-links (logical inter-FPGA connections to be scheduled). *)

@@ -1,0 +1,210 @@
+let gate_name = function
+  | Cell.And -> "and"
+  | Cell.Or -> "or"
+  | Cell.Nand -> "nand"
+  | Cell.Nor -> "nor"
+  | Cell.Xor -> "xor"
+  | Cell.Xnor -> "xnor"
+  | Cell.Not -> "not"
+  | Cell.Buf -> "buf"
+  | Cell.Mux -> "mux"
+
+let gate_of_name = function
+  | "and" -> Some Cell.And
+  | "or" -> Some Cell.Or
+  | "nand" -> Some Cell.Nand
+  | "nor" -> Some Cell.Nor
+  | "xor" -> Some Cell.Xor
+  | "xnor" -> Some Cell.Xnor
+  | "not" -> Some Cell.Not
+  | "buf" -> Some Cell.Buf
+  | "mux" -> Some Cell.Mux
+  | _ -> None
+
+(* Names may not contain whitespace; sanitize on output. *)
+let clean_name s =
+  String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' then '_' else c) s
+
+let output ppf nl =
+  let line fmt = Format.fprintf ppf fmt in
+  line "design %s@\n" (clean_name (Netlist.design_name nl));
+  List.iter
+    (fun d -> line "domain %s@\n" (clean_name (Netlist.domain_name nl d)))
+    (Netlist.domains nl);
+  Netlist.iter_nets nl (fun n ni ->
+      line "net %d %s@\n" (Ids.Net.to_int n) (clean_name ni.Netlist.net_name));
+  let net n = Ids.Net.to_int n in
+  let trigger (c : Cell.t) =
+    match c.Cell.trigger with
+    | Some (Cell.Dom_clock d) -> Printf.sprintf "dom %d" (Ids.Dom.to_int d)
+    | Some (Cell.Net_trigger t) -> Printf.sprintf "net %d" (net t)
+    | None -> "dom 0" (* unreachable for sequential cells *)
+  in
+  Netlist.iter_cells nl (fun c ->
+      let name = clean_name c.Cell.name in
+      match c.Cell.kind with
+      | Cell.Input { domain } ->
+          line "input %s %d%s@\n" name
+            (net (Option.get c.Cell.output))
+            (match domain with
+            | Some d -> Printf.sprintf " domain %d" (Ids.Dom.to_int d)
+            | None -> "")
+      | Cell.Clock_source d ->
+          line "clocksource %d %d@\n" (Ids.Dom.to_int d)
+            (net (Option.get c.Cell.output))
+      | Cell.Gate g ->
+          line "gate %s %s %d" (gate_name g) name (net (Option.get c.Cell.output));
+          Array.iter (fun i -> line " %d" (net i)) c.Cell.data_inputs;
+          line "@\n"
+      | Cell.Latch { active_high } ->
+          line "latch %s %d %d %s %s@\n" name
+            (net (Option.get c.Cell.output))
+            (net c.Cell.data_inputs.(0))
+            (trigger c)
+            (if active_high then "high" else "low")
+      | Cell.Flip_flop ->
+          line "ff %s %d %d %s@\n" name
+            (net (Option.get c.Cell.output))
+            (net c.Cell.data_inputs.(0))
+            (trigger c)
+      | Cell.Ram { addr_bits } ->
+          line "ram %s %d %d" name (net (Option.get c.Cell.output)) addr_bits;
+          Array.iter (fun i -> line " %d" (net i)) c.Cell.data_inputs;
+          line " %s@\n" (trigger c)
+      | Cell.Output -> line "output %s %d@\n" name (net c.Cell.data_inputs.(0)))
+
+let to_string nl = Format.asprintf "%a" output nl
+
+(* ------------------------------------------------------------------ *)
+
+exception Parse of int * string
+
+let of_string text =
+  let b = ref (Netlist.Builder.create ()) in
+  let nets : (int, Ids.Net.t) Hashtbl.t = Hashtbl.create 256 in
+  let net lineno id =
+    match Hashtbl.find_opt nets id with
+    | Some n -> n
+    | None -> raise (Parse (lineno, Printf.sprintf "unknown net %d" id))
+  in
+  let int lineno s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> raise (Parse (lineno, Printf.sprintf "expected integer, got %S" s))
+  in
+  let dom lineno s = Ids.Dom.of_int (int lineno s) in
+  let parse_trigger lineno = function
+    | [ "dom"; d ] -> Cell.Dom_clock (dom lineno d)
+    | [ "net"; n ] -> Cell.Net_trigger (net lineno (int lineno n))
+    | _ -> raise (Parse (lineno, "expected `dom <d>' or `net <n>'"))
+  in
+  let process lineno tokens =
+    match tokens with
+    | [] -> ()
+    | "#" :: _ -> ()
+    | [ "design"; name ] -> b := Netlist.Builder.create ~design_name:name ()
+    | [ "domain"; name ] ->
+        let (_ : Ids.Dom.t) = Netlist.Builder.add_domain !b name in
+        ()
+    | [ "net"; id; name ] ->
+        let n = Netlist.Builder.fresh_net !b ~name () in
+        Hashtbl.replace nets (int lineno id) n
+    | "input" :: name :: out :: rest ->
+        let domain =
+          match rest with
+          | [] -> None
+          | [ "domain"; d ] -> Some (dom lineno d)
+          | _ -> raise (Parse (lineno, "bad input line"))
+        in
+        Netlist.Builder.add_input_to !b ~name ?domain
+          ~output:(net lineno (int lineno out))
+          ()
+    | [ "clocksource"; d; out ] ->
+        Netlist.Builder.add_clock_source_to !b (dom lineno d)
+          ~output:(net lineno (int lineno out))
+    | "gate" :: kind :: name :: out :: ins -> (
+        match gate_of_name kind with
+        | None -> raise (Parse (lineno, "unknown gate kind " ^ kind))
+        | Some g ->
+            Netlist.Builder.add_gate_to !b ~name g
+              (List.map (fun i -> net lineno (int lineno i)) ins)
+              ~output:(net lineno (int lineno out)))
+    | [ "latch"; name; out; data; t0; t1; pol ] ->
+        let active_high =
+          match pol with
+          | "high" -> true
+          | "low" -> false
+          | _ -> raise (Parse (lineno, "latch polarity must be high|low"))
+        in
+        Netlist.Builder.add_latch_to !b ~name ~active_high
+          ~data:(net lineno (int lineno data))
+          ~gate:(parse_trigger lineno [ t0; t1 ])
+          ~output:(net lineno (int lineno out))
+          ()
+    | [ "ff"; name; out; data; t0; t1 ] ->
+        Netlist.Builder.add_flip_flop_to !b ~name
+          ~data:(net lineno (int lineno data))
+          ~clock:(parse_trigger lineno [ t0; t1 ])
+          ~output:(net lineno (int lineno out))
+          ()
+    | "ram" :: name :: out :: addr_bits :: rest ->
+        let a = int lineno addr_bits in
+        let expected = 2 + (2 * a) + 2 in
+        if List.length rest <> expected then
+          raise (Parse (lineno, "bad ram pin count"));
+        let pins, trig =
+          let rec split k acc = function
+            | rest when k = 0 -> (List.rev acc, rest)
+            | x :: rest -> split (k - 1) (x :: acc) rest
+            | [] -> raise (Parse (lineno, "bad ram line"))
+          in
+          split (2 + (2 * a)) [] rest
+        in
+        let pins = List.map (fun i -> net lineno (int lineno i)) pins in
+        let we, wdata, waddr, raddr =
+          match pins with
+          | we :: wdata :: rest ->
+              let rec take k acc = function
+                | rest when k = 0 -> (List.rev acc, rest)
+                | x :: rest -> take (k - 1) (x :: acc) rest
+                | [] -> raise (Parse (lineno, "bad ram address pins"))
+              in
+              let waddr, rest = take a [] rest in
+              let raddr, _ = take a [] rest in
+              (we, wdata, waddr, raddr)
+          | _ -> raise (Parse (lineno, "bad ram pins"))
+        in
+        Netlist.Builder.add_ram_to !b ~name ~addr_bits:a ~write_enable:we
+          ~write_data:wdata ~write_addr:waddr ~read_addr:raddr
+          ~clock:(parse_trigger lineno trig)
+          ~output:(net lineno (int lineno out))
+          ()
+    | [ "output"; name; input ] ->
+        let (_ : Ids.Cell.t) =
+          Netlist.Builder.add_output !b ~name (net lineno (int lineno input))
+        in
+        ()
+    | tok :: _ -> raise (Parse (lineno, "unknown directive " ^ tok))
+  in
+  match
+    String.split_on_char '\n' text
+    |> List.iteri (fun i line ->
+           let tokens =
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun s -> s <> "")
+           in
+           match tokens with
+           | t :: _ when String.length t > 0 && t.[0] = '#' -> ()
+           | _ -> process (i + 1) tokens)
+  with
+  | () -> (
+      match Netlist.Builder.finalize !b with
+      | nl -> Ok nl
+      | exception Netlist.Invalid e ->
+          Error (Format.asprintf "validation: %a" Netlist.pp_validation_error e))
+  | exception Parse (lineno, msg) ->
+      Error (Printf.sprintf "line %d: %s" lineno msg)
+  | exception Invalid_argument msg -> Error msg
+
+let of_string_exn text =
+  match of_string text with Ok nl -> nl | Error msg -> failwith msg

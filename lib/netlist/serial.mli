@@ -1,0 +1,32 @@
+(** Plain-text netlist serialization.
+
+    A simple line-oriented format, stable under round-trips:
+
+    {v
+    design counter
+    domain clk0
+    net 0 n0
+    net 1 q
+    input c0 0 domain 0
+    gate not c1 1 0
+    ff c2 0 1 dom 0
+    output c3 1
+    v}
+
+    Lines: [design <name>], [domain <name>], [net <id> <name>],
+    [input <name> <out> [domain <d>]], [clocksource <d> <out>],
+    [gate <kind> <name> <out> <in>...],
+    [latch <name> <out> <data> (dom <d> | net <n>) (high|low)],
+    [ff <name> <out> <data> (dom <d> | net <n>)],
+    [ram <name> <out> <addr_bits> <we> <wdata> <waddr...> <raddr...>
+         (dom <d> | net <n>)],
+    [output <name> <in>].  [#] starts a comment. *)
+
+val to_string : Netlist.t -> string
+val output : Format.formatter -> Netlist.t -> unit
+
+val of_string : string -> (Netlist.t, string) result
+(** Parse and validate. The error carries a line number and reason. *)
+
+val of_string_exn : string -> Netlist.t
+(** @raise Failure on a parse error. *)

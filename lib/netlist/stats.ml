@@ -1,0 +1,66 @@
+type t = {
+  num_cells : int;
+  num_nets : int;
+  num_gates : int;
+  num_latches : int;
+  num_flip_flops : int;
+  num_rams : int;
+  num_inputs : int;
+  num_outputs : int;
+  num_domains : int;
+  seq_per_domain : int array;
+  max_fanout : int;
+  avg_fanout : float;
+}
+
+let compute nl =
+  let gates = ref 0
+  and latches = ref 0
+  and ffs = ref 0
+  and rams = ref 0
+  and inputs = ref 0
+  and outputs = ref 0 in
+  let seq_per_domain = Array.make (Netlist.num_domains nl) 0 in
+  Netlist.iter_cells nl (fun c ->
+      (match c.Cell.kind with
+      | Cell.Gate _ -> incr gates
+      | Cell.Latch _ -> incr latches
+      | Cell.Flip_flop -> incr ffs
+      | Cell.Ram _ -> incr rams
+      | Cell.Input _ -> incr inputs
+      | Cell.Clock_source _ -> ()
+      | Cell.Output -> incr outputs);
+      match c.Cell.trigger with
+      | Some (Cell.Dom_clock d) ->
+          let i = Ids.Dom.to_int d in
+          seq_per_domain.(i) <- seq_per_domain.(i) + 1
+      | Some (Cell.Net_trigger _) | None -> ());
+  let max_fanout = ref 0 and total_fanout = ref 0 in
+  Netlist.iter_nets nl (fun _ ni ->
+      let f = Array.length ni.Netlist.fanouts in
+      if f > !max_fanout then max_fanout := f;
+      total_fanout := !total_fanout + f);
+  let nnets = Netlist.num_nets nl in
+  {
+    num_cells = Netlist.num_cells nl;
+    num_nets = nnets;
+    num_gates = !gates;
+    num_latches = !latches;
+    num_flip_flops = !ffs;
+    num_rams = !rams;
+    num_inputs = !inputs;
+    num_outputs = !outputs;
+    num_domains = Netlist.num_domains nl;
+    seq_per_domain;
+    max_fanout = !max_fanout;
+    avg_fanout =
+      (if nnets = 0 then 0.0 else float_of_int !total_fanout /. float_of_int nnets);
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "cells=%d nets=%d gates=%d latches=%d ffs=%d rams=%d in=%d out=%d \
+     domains=%d max_fanout=%d avg_fanout=%.2f"
+    s.num_cells s.num_nets s.num_gates s.num_latches s.num_flip_flops
+    s.num_rams s.num_inputs s.num_outputs s.num_domains s.max_fanout
+    s.avg_fanout

@@ -1,0 +1,22 @@
+(** Aggregate statistics over a netlist, used by reports and Table 1. *)
+
+type t = {
+  num_cells : int;
+  num_nets : int;
+  num_gates : int;
+  num_latches : int;
+  num_flip_flops : int;
+  num_rams : int;
+  num_inputs : int;
+  num_outputs : int;
+  num_domains : int;
+  seq_per_domain : int array;
+      (** Sequential cells directly clocked by each domain's root clock,
+          indexed by [Ids.Dom.to_int]. Net-triggered cells are not counted
+          here. *)
+  max_fanout : int;
+  avg_fanout : float;
+}
+
+val compute : Netlist.t -> t
+val pp : Format.formatter -> t -> unit

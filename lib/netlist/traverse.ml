@@ -1,0 +1,151 @@
+type delay = { dmin : int; dmax : int }
+
+let pp_delay ppf d = Format.fprintf ppf "[%d,%d]" d.dmin d.dmax
+
+type t = { nl : Netlist.t; member : bool array; topo : Ids.Cell.t list }
+
+let mem t c = t.member.(Ids.Cell.to_int c)
+let netlist t = t.nl
+let topo t = t.topo
+
+(* Region-local Kahn topological sort over member combinational cells. *)
+let region_topo nl member =
+  let ncells = Netlist.num_cells nl in
+  let indeg = Array.make ncells 0 in
+  let in_play i =
+    member.(i) && Levelize.is_comb_through (Netlist.cell nl (Ids.Cell.of_int i))
+  in
+  for i = 0 to ncells - 1 do
+    if in_play i then begin
+      let c = Netlist.cell nl (Ids.Cell.of_int i) in
+      let deg =
+        List.fold_left
+          (fun acc n ->
+            let d = Netlist.driver nl n in
+            if in_play (Ids.Cell.to_int d.Cell.id) then acc + 1 else acc)
+          0
+          (Levelize.comb_inputs nl c)
+      in
+      indeg.(i) <- deg
+    end
+  done;
+  let queue = Queue.create () in
+  for i = 0 to ncells - 1 do
+    if in_play i && indeg.(i) = 0 then Queue.add (Ids.Cell.of_int i) queue
+  done;
+  let order = ref [] in
+  let processed = ref 0 in
+  let total = ref 0 in
+  for i = 0 to ncells - 1 do
+    if in_play i then incr total
+  done;
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    incr processed;
+    order := cid :: !order;
+    let c = Netlist.cell nl cid in
+    match c.Cell.output with
+    | None -> ()
+    | Some out ->
+        Array.iter
+          (fun (tm : Netlist.term) ->
+            let consumer = Netlist.cell nl tm.Netlist.term_cell in
+            let j = Ids.Cell.to_int consumer.Cell.id in
+            if in_play j && Levelize.is_comb_pin consumer tm.Netlist.term_pin
+            then begin
+              indeg.(j) <- indeg.(j) - 1;
+              if indeg.(j) = 0 then Queue.add consumer.Cell.id queue
+            end)
+          (Netlist.fanouts nl out)
+  done;
+  if !processed < !total then begin
+    let stuck = ref [] in
+    for i = ncells - 1 downto 0 do
+      if in_play i && indeg.(i) > 0 then stuck := Ids.Cell.of_int i :: !stuck
+    done;
+    raise (Levelize.Combinational_cycle !stuck)
+  end;
+  List.rev !order
+
+let make nl ~member =
+  let arr = Array.make (Netlist.num_cells nl) false in
+  for i = 0 to Netlist.num_cells nl - 1 do
+    arr.(i) <- member (Ids.Cell.of_int i)
+  done;
+  { nl; member = arr; topo = region_topo nl arr }
+
+let of_cells nl cells =
+  let arr = Array.make (Netlist.num_cells nl) false in
+  List.iter (fun c -> arr.(Ids.Cell.to_int c) <- true) cells;
+  { nl; member = arr; topo = region_topo nl arr }
+
+let delays_from t src =
+  let table = Ids.Net.Tbl.create 64 in
+  Ids.Net.Tbl.replace table src { dmin = 0; dmax = 0 };
+  List.iter
+    (fun cid ->
+      let c = Netlist.cell t.nl cid in
+      let ins = Levelize.comb_inputs t.nl c in
+      let reach =
+        List.filter_map (fun n -> Ids.Net.Tbl.find_opt table n) ins
+      in
+      match reach, c.Cell.output with
+      | [], _ | _, None -> ()
+      | first :: rest, Some out ->
+          let d =
+            List.fold_left
+              (fun acc d ->
+                { dmin = min acc.dmin d.dmin; dmax = max acc.dmax d.dmax })
+              first rest
+          in
+          Ids.Net.Tbl.replace table out { dmin = d.dmin + 1; dmax = d.dmax + 1 })
+    t.topo;
+  table
+
+let sink_terms_from t src =
+  let table = delays_from t src in
+  let acc = ref [] in
+  Ids.Net.Tbl.iter
+    (fun n d ->
+      Array.iter
+        (fun (tm : Netlist.term) ->
+          let consumer = Netlist.cell t.nl tm.Netlist.term_cell in
+          if
+            mem t consumer.Cell.id
+            && not (Levelize.is_comb_pin consumer tm.Netlist.term_pin)
+          then acc := (tm, d) :: !acc)
+        (Netlist.fanouts t.nl n))
+    table;
+  !acc
+
+let reaches t a b = Ids.Net.Tbl.mem (delays_from t a) b
+
+let cone nl start ~forward =
+  let seen_nets = Ids.Net.Tbl.create 64 in
+  let cells = ref Ids.Cell.Set.empty in
+  let rec visit n =
+    if not (Ids.Net.Tbl.mem seen_nets n) then begin
+      Ids.Net.Tbl.replace seen_nets n ();
+      if forward then
+        Array.iter
+          (fun (tm : Netlist.term) ->
+            let c = Netlist.cell nl tm.Netlist.term_cell in
+            cells := Ids.Cell.Set.add c.Cell.id !cells;
+            if
+              Levelize.is_comb_through c
+              && Levelize.is_comb_pin c tm.Netlist.term_pin
+            then Option.iter visit c.Cell.output)
+          (Netlist.fanouts nl n)
+      else begin
+        let d = Netlist.driver nl n in
+        cells := Ids.Cell.Set.add d.Cell.id !cells;
+        if Levelize.is_comb_through d then
+          List.iter visit (Levelize.comb_inputs nl d)
+      end
+    end
+  in
+  visit start;
+  !cells
+
+let fanin_cone nl n = cone nl n ~forward:false
+let fanout_cone nl n = cone nl n ~forward:true

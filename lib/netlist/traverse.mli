@@ -1,0 +1,50 @@
+(** Region-scoped combinational traversal and delay analysis.
+
+    A {e region} is a subset of cells (typically one partition block).  Within
+    a region, values flow combinationally through gates and RAM read paths;
+    sequential pins, primary outputs and nets leaving the region are sinks.
+    These queries underpin the MTS latch terminal sets (D-INPUT, G-INPUT,
+    G-OUTPUT) and the Min/MaxDelay tables of the paper's Section 7. *)
+
+type delay = { dmin : int; dmax : int }
+(** Shortest and longest combinational path delay, counted in gate levels
+    (one virtual clock per level by default). *)
+
+val pp_delay : Format.formatter -> delay -> unit
+
+type t
+(** A prepared region: member set plus a topological order of its
+    combinational cells. *)
+
+val make : Netlist.t -> member:(Ids.Cell.t -> bool) -> t
+(** @raise Levelize.Combinational_cycle if the region's gates are cyclic. *)
+
+val of_cells : Netlist.t -> Ids.Cell.t list -> t
+
+val mem : t -> Ids.Cell.t -> bool
+val netlist : t -> Netlist.t
+val topo : t -> Ids.Cell.t list
+
+val delays_from : t -> Ids.Net.t -> delay Ids.Net.Tbl.t
+(** [delays_from region src] maps every net combinationally reachable from
+    [src] inside the region (including [src] itself, at delay 0/0) to its
+    min/max delay.  Propagation crosses a cell only when both the cell and
+    the specific input pin are combinational, and only when the cell is a
+    region member. *)
+
+val sink_terms_from : t -> Ids.Net.t -> (Netlist.term * delay) list
+(** Sink terminals reached from [src] inside the region: sequential data and
+    trigger pins, RAM write pins and primary-output pins of member cells,
+    with the min/max delay of the net feeding them. *)
+
+val reaches : t -> Ids.Net.t -> Ids.Net.t -> bool
+(** [reaches region a b]: is there a combinational path from [a] to [b]
+    inside the region? *)
+
+val fanin_cone : Netlist.t -> Ids.Net.t -> Ids.Cell.Set.t
+(** Transitive combinational fan-in cone of a net over the whole netlist. *)
+
+val fanout_cone : Netlist.t -> Ids.Net.t -> Ids.Cell.Set.t
+(** Transitive combinational fan-out cone of a net over the whole netlist
+    (cells whose outputs can change combinationally when the net changes,
+    plus the sink cells sampling it). *)

@@ -1,0 +1,13 @@
+open Msched_netlist
+
+let cell_weight (c : Cell.t) =
+  match c.Cell.kind with
+  | Cell.Gate _ | Cell.Latch _ | Cell.Flip_flop -> 1
+  | Cell.Ram { addr_bits } -> max 2 (Cell.ram_words ~addr_bits / 4)
+  | Cell.Input _ | Cell.Clock_source _ | Cell.Output -> 0
+
+let total_weight nl =
+  Netlist.fold_cells nl ~init:0 ~f:(fun acc c -> acc + cell_weight c)
+
+let block_weight nl cells =
+  List.fold_left (fun acc c -> acc + cell_weight (Netlist.cell nl c)) 0 cells

@@ -1,0 +1,11 @@
+(** FPGA capacity model for partitioning.
+
+    Weights approximate CLB usage: gates and state elements cost one unit,
+    RAMs cost proportionally to their word count, ports cost nothing (they
+    consume pins, which the pin model accounts for separately). *)
+
+open Msched_netlist
+
+val cell_weight : Cell.t -> int
+val total_weight : Netlist.t -> int
+val block_weight : Netlist.t -> Ids.Cell.t list -> int

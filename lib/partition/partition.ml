@@ -1,0 +1,395 @@
+open Msched_netlist
+
+type xing = {
+  x_crossing : Ids.Net.t list;
+  x_inputs : Ids.Net.t list array;  (* by block index *)
+  x_outputs : Ids.Net.t list array;
+}
+
+type t = {
+  netlist : Netlist.t;
+  block_of_cell : int array;  (* by cell index *)
+  cells_of_block : Ids.Cell.t list array;
+  mutable xing : xing option;  (* lazily computed crossing index *)
+}
+
+let netlist t = t.netlist
+let num_blocks t = Array.length t.cells_of_block
+let blocks t = List.init (num_blocks t) Ids.Block.of_int
+let block_of_cell t c = Ids.Block.of_int t.block_of_cell.(Ids.Cell.to_int c)
+let cells_of_block t b = t.cells_of_block.(Ids.Block.to_int b)
+
+let weight_of_block t b =
+  Capacity.block_weight t.netlist (cells_of_block t b)
+
+let is_global_term nl (tm : Netlist.term) =
+  match tm.Netlist.term_pin with
+  | Netlist.Data_pin _ -> false
+  | Netlist.Trigger_pin -> (
+      let c = Netlist.cell nl tm.Netlist.term_cell in
+      match c.Cell.trigger with
+      | Some (Cell.Dom_clock _) -> true
+      | Some (Cell.Net_trigger _) | None -> false)
+
+(* Neighbor cells of a cell through its nets (for clustering). *)
+let neighbor_cells nl (c : Cell.t) =
+  let acc = ref [] in
+  Array.iter (fun n -> acc := (Netlist.driver nl n).Cell.id :: !acc) c.Cell.data_inputs;
+  (match c.Cell.trigger with
+  | Some (Cell.Net_trigger n) -> acc := (Netlist.driver nl n).Cell.id :: !acc
+  | Some (Cell.Dom_clock _) | None -> ());
+  (match c.Cell.output with
+  | Some out ->
+      Array.iter
+        (fun (tm : Netlist.term) ->
+          if not (is_global_term nl tm) then
+            acc := tm.Netlist.term_cell :: !acc)
+        (Netlist.fanouts nl out)
+  | None -> ());
+  List.rev !acc
+
+let build nl block_of_cell =
+  let nblocks = 1 + Array.fold_left max (-1) block_of_cell in
+  let cells_of_block = Array.make nblocks [] in
+  for i = Array.length block_of_cell - 1 downto 0 do
+    let b = block_of_cell.(i) in
+    cells_of_block.(b) <- Ids.Cell.of_int i :: cells_of_block.(b)
+  done;
+  { netlist = nl; block_of_cell; cells_of_block; xing = None }
+
+let of_assignment nl assignment =
+  if Array.length assignment <> Netlist.num_cells nl then
+    invalid_arg "Partition.of_assignment: wrong length";
+  build nl (Array.map Ids.Block.to_int assignment)
+
+(* BFS clustering: grow a block from each unassigned seed until the weight
+   budget is reached. *)
+let cluster nl ~max_weight ~order =
+  let ncells = Netlist.num_cells nl in
+  let assignment = Array.make ncells (-1) in
+  let next_block = ref 0 in
+  let grow seed =
+    let b = !next_block in
+    incr next_block;
+    let weight = ref 0 in
+    let queue = Queue.create () in
+    Queue.add seed queue;
+    let try_take cid =
+      let i = Ids.Cell.to_int cid in
+      if assignment.(i) = -1 then begin
+        let w = Capacity.cell_weight (Netlist.cell nl cid) in
+        if w > max_weight then
+          invalid_arg "Partition.make: a cell exceeds max_weight";
+        if !weight + w <= max_weight then begin
+          assignment.(i) <- b;
+          weight := !weight + w;
+          true
+        end
+        else false
+      end
+      else false
+    in
+    let (_ : bool) = try_take seed in
+    while not (Queue.is_empty queue) do
+      let cid = Queue.pop queue in
+      if assignment.(Ids.Cell.to_int cid) = b then
+        List.iter
+          (fun n -> if try_take n then Queue.add n queue)
+          (neighbor_cells nl (Netlist.cell nl cid))
+    done
+  in
+  Array.iter
+    (fun i -> if assignment.(i) = -1 then grow (Ids.Cell.of_int i))
+    order;
+  assignment
+
+(* One FM-style refinement pass: move boundary cells to the neighbor block
+   they are most connected to when it reduces the cut and fits. *)
+let refine nl ~max_weight assignment =
+  let nblocks = 1 + Array.fold_left max (-1) assignment in
+  let weights = Array.make nblocks 0 in
+  Array.iteri
+    (fun i b ->
+      weights.(b) <- weights.(b) + Capacity.cell_weight (Netlist.cell nl (Ids.Cell.of_int i)))
+    assignment;
+  let moved = ref 0 in
+  let gain_of_move cid target =
+    let c = Netlist.cell nl cid in
+    let here = assignment.(Ids.Cell.to_int cid) in
+    let score net =
+      (* For the net's other endpoints: +1 if the move makes the net
+         internal to [target], -1 if it cuts a net currently internal. *)
+      let others = ref [] in
+      let d = Netlist.driver nl net in
+      if not (Ids.Cell.equal d.Cell.id cid) then
+        others := assignment.(Ids.Cell.to_int d.Cell.id) :: !others;
+      Array.iter
+        (fun (tm : Netlist.term) ->
+          if
+            (not (Ids.Cell.equal tm.Netlist.term_cell cid))
+            && not (is_global_term nl tm)
+          then others := assignment.(Ids.Cell.to_int tm.Netlist.term_cell) :: !others)
+        (Netlist.fanouts nl net);
+      match !others with
+      | [] -> 0
+      | l ->
+          let all_in b = List.for_all (Int.equal b) l in
+          if all_in target then 1 else if all_in here then -1 else 0
+    in
+    let nets = ref [] in
+    Array.iter (fun n -> nets := n :: !nets) c.Cell.data_inputs;
+    (match c.Cell.trigger with
+    | Some (Cell.Net_trigger n) -> nets := n :: !nets
+    | Some (Cell.Dom_clock _) | None -> ());
+    (match c.Cell.output with Some o -> nets := o :: !nets | None -> ());
+    List.fold_left (fun acc n -> acc + score n) 0 !nets
+  in
+  for i = 0 to Array.length assignment - 1 do
+    let cid = Ids.Cell.of_int i in
+    let c = Netlist.cell nl cid in
+    let here = assignment.(i) in
+    let candidates =
+      List.sort_uniq Int.compare
+        (List.filter_map
+           (fun n ->
+             let b = assignment.(Ids.Cell.to_int n) in
+             if b <> here then Some b else None)
+           (neighbor_cells nl c))
+    in
+    let w = Capacity.cell_weight c in
+    let best =
+      List.fold_left
+        (fun best target ->
+          if weights.(target) + w > max_weight then best
+          else
+            let g = gain_of_move cid target in
+            match best with
+            | Some (_, bg) when bg >= g -> best
+            | _ when g > 0 -> Some (target, g)
+            | _ -> best)
+        None candidates
+    in
+    match best with
+    | Some (target, _) ->
+        assignment.(i) <- target;
+        weights.(here) <- weights.(here) - w;
+        weights.(target) <- weights.(target) + w;
+        incr moved
+    | None -> ()
+  done;
+  !moved
+
+(* Greedy merge of under-filled blocks: repeatedly fold each small block
+   into the block it is most connected to that still has room (falling back
+   to any block with room), until no merge fits.  BFS clustering leaves a
+   tail of fragment blocks behind; this pass packs them. *)
+let merge_small nl ~max_weight assignment =
+  let weight_of_cell i = Capacity.cell_weight (Netlist.cell nl (Ids.Cell.of_int i)) in
+  let nblocks () = 1 + Array.fold_left max (-1) assignment in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let n = nblocks () in
+    let weights = Array.make n 0 in
+    let cell_counts = Array.make n 0 in
+    Array.iteri
+      (fun i b ->
+        weights.(b) <- weights.(b) + weight_of_cell i;
+        cell_counts.(b) <- cell_counts.(b) + 1)
+      assignment;
+    (* Inter-block connectivity from net endpoints. *)
+    let conn = Hashtbl.create 256 in
+    let bump a b =
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        Hashtbl.replace conn key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt conn key))
+      end
+    in
+    Netlist.iter_nets nl (fun n ni ->
+        ignore n;
+        let src = assignment.(Ids.Cell.to_int ni.Netlist.driver) in
+        Array.iter
+          (fun (tm : Netlist.term) ->
+            if not (is_global_term nl tm) then
+              bump src assignment.(Ids.Cell.to_int tm.Netlist.term_cell))
+          ni.Netlist.fanouts);
+    let neighbors = Array.make n [] in
+    Hashtbl.iter
+      (fun (a, b) w ->
+        neighbors.(a) <- (b, w) :: neighbors.(a);
+        neighbors.(b) <- (a, w) :: neighbors.(b))
+      conn;
+    let order = List.init n Fun.id in
+    let order =
+      List.sort (fun a b -> compare (weights.(a), a) (weights.(b), b)) order
+    in
+    let merged_into = Array.init n Fun.id in
+    let rec root b = if merged_into.(b) = b then b else root merged_into.(b) in
+    List.iter
+      (fun s ->
+        (* Ids with no cells are holes left by earlier rounds, not blocks. *)
+        if cell_counts.(s) > 0 && merged_into.(s) = s && weights.(s) * 2 <= max_weight
+        then begin
+          let candidates =
+            List.sort (fun (_, w1) (_, w2) -> compare w2 w1) neighbors.(s)
+          in
+          let try_merge t =
+            let t = root t in
+            if t <> s && weights.(t) + weights.(s) <= max_weight then begin
+              merged_into.(s) <- t;
+              weights.(t) <- weights.(t) + weights.(s);
+              weights.(s) <- 0;
+              progress := true;
+              true
+            end
+            else false
+          in
+          let merged = List.exists (fun (t, _) -> try_merge t) candidates in
+          if not merged then begin
+            (* fall back to any block with room *)
+            let rec scan t =
+              if t >= n then ()
+              else if
+                cell_counts.(t) > 0 && t <> s && merged_into.(t) = t
+                && try_merge t
+              then ()
+              else scan (t + 1)
+            in
+            scan 0
+          end
+        end)
+      order;
+    if !progress then
+      Array.iteri (fun i b -> assignment.(i) <- root b) assignment
+  done
+
+(* Empty blocks can appear after refinement; renumber densely. *)
+let compact assignment =
+  let nblocks = 1 + Array.fold_left max (-1) assignment in
+  let used = Array.make nblocks false in
+  Array.iter (fun b -> used.(b) <- true) assignment;
+  let remap = Array.make nblocks (-1) in
+  let next = ref 0 in
+  for b = 0 to nblocks - 1 do
+    if used.(b) then begin
+      remap.(b) <- !next;
+      incr next
+    end
+  done;
+  Array.map (fun b -> remap.(b)) assignment
+
+let make nl ~max_weight ?(seed = 1) () =
+  if max_weight <= 0 then invalid_arg "Partition.make: max_weight";
+  let ncells = Netlist.num_cells nl in
+  let order = Array.init ncells Fun.id in
+  (* Deterministic shuffle of seed order. *)
+  let rng = Random.State.make [| seed; ncells |] in
+  for i = ncells - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let assignment = cluster nl ~max_weight ~order in
+  merge_small nl ~max_weight assignment;
+  let assignment = compact assignment in
+  let rec loop pass =
+    if pass < 3 then
+      let moved = refine nl ~max_weight assignment in
+      if moved > 0 then loop (pass + 1)
+  in
+  loop 0;
+  build nl (compact assignment)
+
+let foreign_consumers t net =
+  let nl = t.netlist in
+  let dblock = t.block_of_cell.(Ids.Cell.to_int (Netlist.driver nl net).Cell.id) in
+  let by_block = Hashtbl.create 4 in
+  Array.iter
+    (fun (tm : Netlist.term) ->
+      if not (is_global_term nl tm) then begin
+        let b = t.block_of_cell.(Ids.Cell.to_int tm.Netlist.term_cell) in
+        if b <> dblock then
+          Hashtbl.replace by_block b
+            (tm :: Option.value ~default:[] (Hashtbl.find_opt by_block b))
+      end)
+    (Netlist.fanouts nl net);
+  Hashtbl.fold
+    (fun b terms acc -> (Ids.Block.of_int b, List.rev terms) :: acc)
+    by_block []
+  |> List.sort (fun (a, _) (b, _) -> Ids.Block.compare a b)
+
+let xing_of t =
+  match t.xing with
+  | Some x -> x
+  | None ->
+      let nblocks = num_blocks t in
+      let crossing = ref [] in
+      let inputs = Array.make nblocks [] in
+      let outputs = Array.make nblocks [] in
+      Netlist.iter_nets t.netlist (fun n _ ->
+          match foreign_consumers t n with
+          | [] -> ()
+          | foreign ->
+              crossing := n :: !crossing;
+              let src =
+                t.block_of_cell.(Ids.Cell.to_int (Netlist.driver t.netlist n).Cell.id)
+              in
+              outputs.(src) <- n :: outputs.(src);
+              List.iter
+                (fun (b, _) ->
+                  let bi = Ids.Block.to_int b in
+                  inputs.(bi) <- n :: inputs.(bi))
+                foreign);
+      let x =
+        {
+          x_crossing = List.rev !crossing;
+          x_inputs = Array.map List.rev inputs;
+          x_outputs = Array.map List.rev outputs;
+        }
+      in
+      t.xing <- Some x;
+      x
+
+let crossing_nets t = (xing_of t).x_crossing
+let input_nets t b = (xing_of t).x_inputs.(Ids.Block.to_int b)
+let output_nets t b = (xing_of t).x_outputs.(Ids.Block.to_int b)
+
+let cut_size t =
+  List.fold_left
+    (fun acc n -> acc + List.length (foreign_consumers t n))
+    0 (crossing_nets t)
+
+let naive_pin_count t b =
+  let nl = t.netlist in
+  let outgoing = ref 0 and incoming = Ids.Net.Tbl.create 32 in
+  List.iter
+    (fun n ->
+      let dblock = block_of_cell t (Netlist.driver nl n).Cell.id in
+      let foreign = foreign_consumers t n in
+      if Ids.Block.equal dblock b && foreign <> [] then incr outgoing;
+      if List.exists (fun (fb, _) -> Ids.Block.equal fb b) foreign then
+        Ids.Net.Tbl.replace incoming n ())
+    (crossing_nets t);
+  !outgoing + Ids.Net.Tbl.length incoming
+
+let validate t =
+  let ncells = Netlist.num_cells t.netlist in
+  if Array.length t.block_of_cell <> ncells then Error "wrong assignment length"
+  else
+    let nblocks = num_blocks t in
+    let bad =
+      Array.exists (fun b -> b < 0 || b >= nblocks) t.block_of_cell
+    in
+    if bad then Error "cell with out-of-range block"
+    else if Array.exists (fun l -> l = []) t.cells_of_block then
+      Error "empty block"
+    else Ok ()
+
+let pp_summary ppf t =
+  let max_w =
+    List.fold_left (fun m b -> max m (weight_of_block t b)) 0 (blocks t)
+  in
+  Format.fprintf ppf "%d blocks, cut=%d, max block weight=%d" (num_blocks t)
+    (cut_size t) max_w

@@ -1,0 +1,224 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+module System = Msched_arch.System
+module Topology = Msched_arch.Topology
+
+type t = {
+  partition : Partition.t;
+  system : System.t;
+  fpga_of_block : int array;  (* by block index *)
+  block_of_fpga : int array;  (* by fpga index, -1 when empty *)
+}
+
+let partition t = t.partition
+let system t = t.system
+let fpga_of_block t b = Ids.Fpga.of_int t.fpga_of_block.(Ids.Block.to_int b)
+
+let block_of_fpga t f =
+  match t.block_of_fpga.(Ids.Fpga.to_int f) with
+  | -1 -> None
+  | b -> Some (Ids.Block.of_int b)
+
+let fpga_of_cell t c = fpga_of_block t (Partition.block_of_cell t.partition c)
+
+(* Inter-block connection multiset: (a, b, weight) with a < b. *)
+let connections part =
+  let tbl = Hashtbl.create 256 in
+  let bump a b w =
+    let key = if a < b then (a, b) else (b, a) in
+    if a <> b then
+      Hashtbl.replace tbl key (w + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let nl = Partition.netlist part in
+  List.iter
+    (fun net ->
+      let src =
+        Ids.Block.to_int (Partition.block_of_cell part (Netlist.driver nl net).Cell.id)
+      in
+      List.iter
+        (fun (b, terms) ->
+          bump src (Ids.Block.to_int b) (List.length terms))
+        (Partition.foreign_consumers part net))
+    (Partition.crossing_nets part);
+  Hashtbl.fold (fun (a, b) w acc -> (a, b, w) :: acc) tbl []
+  |> List.sort compare
+
+let cost_of sys conns fpga_of_block =
+  let topo = System.topology sys in
+  List.fold_left
+    (fun acc (a, b, w) ->
+      acc
+      + w
+        * Topology.distance topo
+            (Ids.Fpga.of_int fpga_of_block.(a))
+            (Ids.Fpga.of_int fpga_of_block.(b)))
+    0 conns
+
+let build part sys fpga_of_block =
+  let nf = System.num_fpgas sys in
+  let block_of_fpga = Array.make nf (-1) in
+  Array.iteri
+    (fun b f ->
+      if block_of_fpga.(f) <> -1 then
+        invalid_arg "Placement: two blocks on one FPGA";
+      block_of_fpga.(f) <- b)
+    fpga_of_block;
+  { partition = part; system = sys; fpga_of_block; block_of_fpga }
+
+let of_assignment part sys assignment =
+  if Array.length assignment <> Partition.num_blocks part then
+    invalid_arg "Placement.of_assignment: wrong length";
+  build part sys (Array.map Ids.Fpga.to_int assignment)
+
+(* Greedy constructive placement: pinned blocks first, then the rest in
+   decreasing connectivity order, each at the free FPGA minimizing cost
+   against already-placed neighbors. *)
+let constructive part sys conns pinned =
+  let nb = Partition.num_blocks part in
+  let nf = System.num_fpgas sys in
+  let topo = System.topology sys in
+  let adj = Array.make nb [] in
+  List.iter
+    (fun (a, b, w) ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    conns;
+  let degree b = List.fold_left (fun acc (_, w) -> acc + w) 0 adj.(b) in
+  let order =
+    List.sort
+      (fun a b -> compare (degree b, a) (degree a, b))
+      (List.init nb Fun.id)
+    |> List.filter (fun b -> pinned.(b) = -1)
+  in
+  let fpga_of_block = Array.make nb (-1) in
+  let taken = Array.make nf false in
+  Array.iteri
+    (fun b f ->
+      if f >= 0 then begin
+        if taken.(f) then invalid_arg "Placement.place: conflicting pins";
+        fpga_of_block.(b) <- f;
+        taken.(f) <- true
+      end)
+    pinned;
+  List.iter
+    (fun b ->
+      let best = ref (-1) and best_cost = ref max_int in
+      for f = 0 to nf - 1 do
+        if not taken.(f) then begin
+          let c =
+            List.fold_left
+              (fun acc (nb', w) ->
+                if fpga_of_block.(nb') >= 0 then
+                  acc
+                  + w
+                    * Topology.distance topo (Ids.Fpga.of_int f)
+                        (Ids.Fpga.of_int fpga_of_block.(nb'))
+                else acc)
+              0 adj.(b)
+          in
+          if c < !best_cost then begin
+            best_cost := c;
+            best := f
+          end
+        end
+      done;
+      fpga_of_block.(b) <- !best;
+      taken.(!best) <- true)
+    order;
+  fpga_of_block
+
+let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = []) () =
+  let nb = Partition.num_blocks part in
+  let nf = System.num_fpgas sys in
+  if nb > nf then
+    invalid_arg
+      (Printf.sprintf "Placement.place: %d blocks > %d FPGAs" nb nf);
+  let pinned_arr = Array.make nb (-1) in
+  List.iter
+    (fun (b, f) ->
+      let bi = Ids.Block.to_int b in
+      if bi >= nb then invalid_arg "Placement.place: pinned block out of range";
+      if pinned_arr.(bi) >= 0 then
+        invalid_arg "Placement.place: block pinned twice";
+      pinned_arr.(bi) <- Ids.Fpga.to_int f)
+    pinned;
+  let conns = connections part in
+  let fpga_of_block = constructive part sys conns pinned_arr in
+  if effort > 0 && nb > 1 then begin
+    let rng = Random.State.make [| seed; nb; nf |] in
+    let topo = System.topology sys in
+    let adj = Array.make nb [] in
+    List.iter
+      (fun (a, b, w) ->
+        adj.(a) <- (b, w) :: adj.(a);
+        adj.(b) <- (a, w) :: adj.(b))
+      conns;
+    let block_at = Array.make nf (-1) in
+    Array.iteri (fun b f -> block_at.(f) <- b) fpga_of_block;
+    (* Incremental cost of all connections incident to block [b], excluding
+       those to [other] (counted once by the caller). *)
+    let local_cost b other =
+      if b < 0 then 0
+      else
+        List.fold_left
+          (fun acc (nb', w) ->
+            if nb' = other then acc
+            else
+              acc
+              + w
+                * Topology.distance topo
+                    (Ids.Fpga.of_int fpga_of_block.(b))
+                    (Ids.Fpga.of_int fpga_of_block.(nb')))
+          0 adj.(b)
+    in
+    let cost = ref (cost_of sys conns fpga_of_block) in
+    let moves = effort * 200 * nb in
+    let temp0 = 1.0 +. (float_of_int !cost /. float_of_int (max 1 nb)) in
+    for m = 0 to moves - 1 do
+      let f1 = Random.State.int rng nf and f2 = Random.State.int rng nf in
+      let movable b = b < 0 || pinned_arr.(b) < 0 in
+      if
+        f1 <> f2
+        && (block_at.(f1) >= 0 || block_at.(f2) >= 0)
+        && movable block_at.(f1)
+        && movable block_at.(f2)
+      then begin
+        let b1 = block_at.(f1) and b2 = block_at.(f2) in
+        let swap () =
+          block_at.(f1) <- b2;
+          block_at.(f2) <- b1;
+          if b1 >= 0 then fpga_of_block.(b1) <- f2;
+          if b2 >= 0 then fpga_of_block.(b2) <- f1
+        in
+        let unswap () =
+          block_at.(f1) <- b1;
+          block_at.(f2) <- b2;
+          if b1 >= 0 then fpga_of_block.(b1) <- f1;
+          if b2 >= 0 then fpga_of_block.(b2) <- f2
+        in
+        let before = local_cost b1 b2 + local_cost b2 b1 in
+        swap ();
+        let after = local_cost b1 b2 + local_cost b2 b1 in
+        let delta = after - before in
+        let temp =
+          temp0 *. (1.0 -. (float_of_int m /. float_of_int moves)) +. 1e-3
+        in
+        if
+          delta <= 0
+          || Random.State.float rng 1.0 < exp (-.float_of_int delta /. temp)
+        then cost := !cost + delta
+        else unswap ()
+      end
+    done
+  end;
+  build part sys fpga_of_block
+
+let wirelength t =
+  cost_of t.system (connections t.partition) t.fpga_of_block
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%d blocks on %a, wirelength=%d"
+    (Partition.num_blocks t.partition)
+    Msched_arch.Topology.pp
+    (System.topology t.system)
+    (wirelength t)

@@ -1,0 +1,163 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+module Domain_analysis = Msched_mts.Domain_analysis
+module Latch_analysis = Msched_mts.Latch_analysis
+
+let arrival_oracle link_scheds =
+  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (ls : Schedule.link_sched) ->
+      let key =
+        ( Ids.Block.to_int ls.Schedule.ls_link.Link.dst_block,
+          Ids.Net.to_int ls.Schedule.ls_link.Link.net )
+      in
+      let arr =
+        List.fold_left
+          (fun acc t -> max acc t.Schedule.tr_fwd_arr)
+          0 ls.Schedule.ls_transports
+      in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+      if arr > cur then Hashtbl.replace tbl key arr)
+    link_scheds;
+  fun ~block ~net ->
+    Option.value ~default:0 (Hashtbl.find_opt tbl (block, Ids.Net.to_int net))
+
+let compute part dom_analysis la ~same_domain_only ~length ~arrival =
+  let nl = Partition.netlist part in
+  let nblocks = Partition.num_blocks part in
+  let out = ref [] in
+  for b = 0 to nblocks - 1 do
+    let lab = la.(b) in
+    (* Per-state-element dependency lists from all groups of the block;
+       the bool marks link-fed (block input) origins. *)
+    let deps_of : (bool * Latch_analysis.dep) list Ids.Cell.Tbl.t =
+      Ids.Cell.Tbl.create 32
+    in
+    let push is_input (d : Latch_analysis.dep) =
+      let cur =
+        Option.value ~default:[]
+          (Ids.Cell.Tbl.find_opt deps_of d.Latch_analysis.dep_latch)
+      in
+      Ids.Cell.Tbl.replace deps_of d.Latch_analysis.dep_latch
+        ((is_input, d) :: cur)
+    in
+    Array.iter
+      (fun (g : Latch_analysis.group) ->
+        List.iter (push true) g.Latch_analysis.input_deps;
+        List.iter (push false) g.Latch_analysis.local_deps)
+      lab.Latch_analysis.groups;
+    let statefuls =
+      List.filter
+        (fun cid ->
+          let c = Netlist.cell nl cid in
+          match c.Cell.kind, c.Cell.trigger with
+          | Cell.Latch _, _ -> true
+          | (Cell.Flip_flop | Cell.Ram _), Some (Cell.Net_trigger _) -> true
+          | _, _ -> false)
+        (Partition.cells_of_block part (Ids.Block.of_int b))
+    in
+    let eval_fwd = Ids.Cell.Tbl.create 32 in
+    let get_eval c =
+      Option.value ~default:0 (Ids.Cell.Tbl.find_opt eval_fwd c)
+    in
+    let settle n =
+      Option.value ~default:0
+        (Ids.Net.Tbl.find_opt lab.Latch_analysis.local_max_settle n)
+    in
+    let shares_domain origin data_net =
+      (not same_domain_only)
+      || not
+           (Ids.Dom.Set.is_empty
+              (Ids.Dom.Set.inter
+                 (Domain_analysis.transitions dom_analysis origin)
+                 (Domain_analysis.transitions dom_analysis data_net)))
+    in
+    let holdoff_tbl = Ids.Cell.Tbl.create 32 in
+    let relax () =
+      let changed = ref false in
+      List.iter
+        (fun cid ->
+          let c = Netlist.cell nl cid in
+          let data_net = c.Cell.data_inputs.(0) in
+          (* Local settle must cover every write pin of a RAM. *)
+          let data_pins =
+            match c.Cell.kind with
+            | Cell.Ram { addr_bits } ->
+                List.init (2 + addr_bits) (fun i -> c.Cell.data_inputs.(i))
+            | Cell.Latch _ | Cell.Flip_flop | Cell.Gate _ | Cell.Input _
+            | Cell.Clock_source _ | Cell.Output ->
+                [ data_net ]
+          in
+          let is_ram =
+            match c.Cell.kind with Cell.Ram _ -> true | _ -> false
+          in
+          let gate_net =
+            match c.Cell.trigger with
+            | Some (Cell.Net_trigger tn) -> Some tn
+            | Some (Cell.Dom_clock _) | None -> None
+          in
+          let deps =
+            Option.value ~default:[] (Ids.Cell.Tbl.find_opt deps_of cid)
+          in
+          let side ~gate =
+            let base =
+              match gate, gate_net with
+              | true, Some gn -> settle gn
+              | true, None -> 0
+              | false, _ ->
+                  List.fold_left (fun acc n -> max acc (settle n)) 0 data_pins
+            in
+            List.fold_left
+              (fun acc (is_input, (d : Latch_analysis.dep)) ->
+                let delay =
+                  if gate then d.Latch_analysis.dep_pd.Latch_analysis.to_gate
+                  else d.Latch_analysis.dep_pd.Latch_analysis.to_data
+                in
+                match delay with
+                | None -> acc
+                | Some dd ->
+                    if
+                      gate && (not is_ram)
+                      && not (shares_domain d.Latch_analysis.dep_origin data_net)
+                    then acc
+                    else
+                      let origin_time =
+                        if is_input then
+                          arrival ~block:b ~net:d.Latch_analysis.dep_origin
+                        else
+                          get_eval
+                            (Netlist.driver nl d.Latch_analysis.dep_origin)
+                              .Cell.id
+                      in
+                      max acc (origin_time + dd.Traverse.dmax))
+              base deps
+          in
+          let gate_settle = min length (side ~gate:true) in
+          let data_settle = min length (side ~gate:false) in
+          (* Data strictly after gate: simultaneous arrival latches the old
+             value (paper Figure 4a). *)
+          let ho = min length (gate_settle + 1) in
+          let ev = min length (max data_settle ho + 1) in
+          if
+            (gate_settle, ho)
+            > Option.value ~default:(-1, -1)
+                (Ids.Cell.Tbl.find_opt holdoff_tbl cid)
+          then begin
+            Ids.Cell.Tbl.replace holdoff_tbl cid (gate_settle, ho);
+            changed := true
+          end;
+          if ev > get_eval cid then begin
+            Ids.Cell.Tbl.replace eval_fwd cid ev;
+            changed := true
+          end)
+        statefuls;
+      !changed
+    in
+    let rec loop i = if i < 20 && relax () then loop (i + 1) in
+    loop 0;
+    Ids.Cell.Tbl.iter
+      (fun cid (gho, ho) ->
+        out := { Schedule.ho_cell = cid; ho_gate = gho; ho_data = ho } :: !out)
+      holdoff_tbl
+  done;
+  !out

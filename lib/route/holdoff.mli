@@ -1,0 +1,34 @@
+(** Data/gate hold-off finalization, shared by the reverse (TIERS) and
+    forward schedulers.
+
+    Once transports have forward-time arrivals and the frame length is
+    known, every latch and net-triggered flip-flop gets:
+    - [ho_gate]: the slot at which its gate pin's settled value is
+      presented (masking transients — intra-FPGA evaluation is scheduled);
+    - [ho_data]: the slot before which data-pin updates are buffered,
+      always strictly after [ho_gate] (the paper's delay compensation).
+
+    Settle times combine local frame-start paths, link-fed paths (arrival
+    plus max pin delay) and local latch-to-latch chains (relaxed to a fixed
+    point, clamped at the frame length).  With [same_domain_only], gate
+    contributions whose transition domains are disjoint from the data net's
+    are ignored (the paper's Observation 1). *)
+
+open Msched_netlist
+
+val compute :
+  Msched_partition.Partition.t ->
+  Msched_mts.Domain_analysis.t ->
+  Msched_mts.Latch_analysis.t array ->
+  same_domain_only:bool ->
+  length:int ->
+  arrival:(block:int -> net:Ids.Net.t -> int) ->
+  Schedule.holdoff list
+(** [arrival ~block ~net] is the forward slot at which the (last) transport
+    delivering [net] to [block] lands; 0 when the net is not delivered
+    there. *)
+
+val arrival_oracle :
+  Schedule.link_sched list -> block:int -> net:Ids.Net.t -> int
+(** Builds the standard arrival oracle over a finished transport list
+    (indexed once, O(1) per query). *)

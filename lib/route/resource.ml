@@ -1,0 +1,45 @@
+module System = Msched_arch.System
+
+type t = {
+  widths : int array;  (* physical wires per channel *)
+  dedicated : int array;
+  used : (int * int, int) Hashtbl.t;  (* (channel, rslot) -> count *)
+  peak : int array;
+  mutable max_rslot : int;
+}
+
+let create sys =
+  let channels = System.channels sys in
+  {
+    widths = Array.map (fun c -> c.System.width) channels;
+    dedicated = Array.make (Array.length channels) 0;
+    used = Hashtbl.create 4096;
+    peak = Array.make (Array.length channels) 0;
+    max_rslot = -1;
+  }
+
+let effective_width t ~channel = t.widths.(channel) - t.dedicated.(channel)
+
+let dedicate t ~channel =
+  if effective_width t ~channel <= 0 then
+    invalid_arg "Resource.dedicate: channel exhausted";
+  t.dedicated.(channel) <- t.dedicated.(channel) + 1
+
+let dedicated t ~channel = t.dedicated.(channel)
+
+let usage_at t ~channel ~rslot =
+  Option.value ~default:0 (Hashtbl.find_opt t.used (channel, rslot))
+
+let free_at t ~channel ~rslot =
+  usage_at t ~channel ~rslot < effective_width t ~channel
+
+let reserve t ~channel ~rslot =
+  let u = usage_at t ~channel ~rslot in
+  if u >= effective_width t ~channel then
+    invalid_arg "Resource.reserve: slot full";
+  Hashtbl.replace t.used (channel, rslot) (u + 1);
+  if u + 1 > t.peak.(channel) then t.peak.(channel) <- u + 1;
+  if rslot > t.max_rslot then t.max_rslot <- rslot
+
+let peak_usage t = Array.copy t.peak
+let max_rslot t = t.max_rslot

@@ -1,0 +1,30 @@
+(** Time-expanded wire reservation tables.
+
+    Physical wires inside one directed channel are interchangeable, so
+    reservations are counted per (channel, reverse slot): a slot can hold at
+    most [effective width] concurrent transports.  Hard routing removes whole
+    wires from a channel's pool by incrementing its dedicated count. *)
+
+type t
+
+val create : Msched_arch.System.t -> t
+
+val dedicate : t -> channel:int -> unit
+(** Permanently remove one wire from the channel's multiplexed pool.
+    @raise Invalid_argument if the channel has no wires left. *)
+
+val dedicated : t -> channel:int -> int
+val effective_width : t -> channel:int -> int
+(** Width available to time-multiplexed traffic. *)
+
+val free_at : t -> channel:int -> rslot:int -> bool
+val reserve : t -> channel:int -> rslot:int -> unit
+(** @raise Invalid_argument when the slot is full. *)
+
+val usage_at : t -> channel:int -> rslot:int -> int
+val peak_usage : t -> int array
+(** Per channel: the maximum number of wires concurrently used in any slot
+    (multiplexed traffic only; add {!dedicated} for total pin pressure). *)
+
+val max_rslot : t -> int
+(** Largest reverse slot with any reservation ([-1] when none). *)

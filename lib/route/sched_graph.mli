@@ -1,0 +1,24 @@
+(** Unified processing-order graph over route-links and latch groups, shared
+    by the reverse (TIERS) and forward schedulers.
+
+    Nodes are links plus per-block latch groups.  Edges encode
+    "A is processed before B" for reverse scheduling (consumers first):
+    - a link departing a block precedes every link/group whose delivered or
+      origin nets combinationally feed its source terminal;
+    - a latch group precedes the links delivering its input terminals;
+    - groups within a block are chained in their analysis order
+      (parents/consumers first).
+
+    Strongly connected components (cross-block latch loops) are collapsed
+    and processed in an arbitrary internal order, with a warning. *)
+
+type node = Lnk of int  (** Index into the link array. *) | Grp of int * int
+    (** (block index, group index). *)
+
+val order :
+  Msched_partition.Partition.t ->
+  Msched_mts.Latch_analysis.t array ->
+  Link.t array ->
+  node list * string list
+(** Consumers-first order (reverse schedulers iterate it directly; forward
+    schedulers iterate it reversed), plus warnings for collapsed cycles. *)

@@ -1,0 +1,93 @@
+open Msched_netlist
+module System = Msched_arch.System
+
+type transport = {
+  tr_domain : Ids.Dom.t option;
+  tr_fwd_dep : int;
+  tr_fwd_arr : int;
+  tr_hops : (int * int) list;
+  tr_hard : bool;
+}
+
+type link_sched = { ls_link : Link.t; ls_transports : transport list }
+
+type holdoff = { ho_cell : Ids.Cell.t; ho_gate : int; ho_data : int }
+
+type t = {
+  length : int;
+  length_driver : string;
+  vclock_hz : float;
+  link_scheds : link_sched list;
+  holdoffs : holdoff list;
+  peak_channel_usage : int array;
+  dedicated_per_channel : int array;
+  warnings : string list;
+}
+
+let est_speed_hz t = t.vclock_hz /. float_of_int (max 1 t.length)
+
+let total_holdoff t =
+  List.fold_left (fun acc h -> acc + h.ho_data) 0 t.holdoffs
+
+let pins_used_per_fpga t sys =
+  let pins = Array.make (System.num_fpgas sys) 0 in
+  Array.iteri
+    (fun i (c : System.channel) ->
+      let wires = t.peak_channel_usage.(i) + t.dedicated_per_channel.(i) in
+      let s = Ids.Fpga.to_int c.System.src and d = Ids.Fpga.to_int c.System.dst in
+      pins.(s) <- pins.(s) + wires;
+      pins.(d) <- pins.(d) + wires)
+    (System.channels sys);
+  pins
+
+let max_pins_used t sys = Array.fold_left max 0 (pins_used_per_fpga t sys)
+
+let find_transports t ~net ~dst_block =
+  List.concat_map
+    (fun ls ->
+      if
+        Ids.Net.equal ls.ls_link.Link.net net
+        && Ids.Block.equal ls.ls_link.Link.dst_block dst_block
+      then ls.ls_transports
+      else [])
+    t.link_scheds
+
+let holdoff_of t cell =
+  List.find_opt (fun h -> Ids.Cell.equal h.ho_cell cell) t.holdoffs
+
+let channel_utilization t sys =
+  let channels = System.channels sys in
+  if Array.length channels = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i (c : System.channel) ->
+        let used = t.peak_channel_usage.(i) + t.dedicated_per_channel.(i) in
+        total := !total +. (float_of_int used /. float_of_int c.System.width))
+      channels;
+    !total /. float_of_int (Array.length channels)
+  end
+
+let mean_transport_latency t =
+  let n = ref 0 and sum = ref 0 in
+  List.iter
+    (fun ls ->
+      List.iter
+        (fun tr ->
+          incr n;
+          sum := !sum + (tr.tr_fwd_arr - tr.tr_fwd_dep))
+        ls.ls_transports)
+    t.link_scheds;
+  if !n = 0 then 0.0 else float_of_int !sum /. float_of_int !n
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "schedule: %d vclocks/frame (%s), %.1f kHz est. speed, %d links, %d \
+     holdoffs (%d slots total)%s"
+    t.length t.length_driver
+    (est_speed_hz t /. 1e3)
+    (List.length t.link_scheds)
+    (List.length t.holdoffs) (total_holdoff t)
+    (match t.warnings with
+    | [] -> ""
+    | w -> Format.asprintf " [%d warnings]" (List.length w))

@@ -1,0 +1,97 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+module Placement = Msched_place.Placement
+module Edges = Msched_clocking.Edges
+
+type report = {
+  frames : int;
+  mismatch_frames : int;
+  state_mismatches : int;
+  ram_mismatches : int;
+  first_mismatch_frame : int option;
+  violations : Emu_sim.violations;
+  settle_warnings : int;
+}
+
+let perfect r =
+  r.state_mismatches = 0 && r.ram_mismatches = 0
+  && r.violations.Emu_sim.hold_hazards = 0
+  && r.violations.Emu_sim.causality_inversions = 0
+
+let compare_groups placement sched ~groups ?(seed = 42) () =
+  let part = Placement.partition placement in
+  let nl = Partition.netlist part in
+  let stim = Stimulus.make ~seed nl in
+  let golden = Ref_sim.create nl stim in
+  let emu = Emu_sim.create placement sched stim in
+  let rams = Ref_sim.state_cells nl
+    |> List.filter (fun cid ->
+           match (Netlist.cell nl cid).Cell.kind with
+           | Cell.Ram _ -> true
+           | Cell.Gate _ | Cell.Latch _ | Cell.Flip_flop | Cell.Input _
+           | Cell.Clock_source _ | Cell.Output -> false)
+  in
+  let frames = ref 0 in
+  let mismatch_frames = ref 0 in
+  let state_mismatches = ref 0 in
+  let ram_mismatches = ref 0 in
+  let first = ref None in
+  List.iter
+    (fun group ->
+      List.iter (Ref_sim.apply_edge golden) group;
+      Emu_sim.run_frame emu group;
+      incr frames;
+      let g = Ref_sim.state_snapshot golden in
+      let m = Emu_sim.state_snapshot emu in
+      let frame_bad = ref 0 in
+      let frame_ram_bad = ref 0 in
+      List.iter2
+        (fun (cg, vg) (cm, vm) ->
+          assert (Ids.Cell.equal cg cm);
+          if vg <> vm then incr frame_bad)
+        g m;
+      List.iter
+        (fun cid ->
+          let a = Ref_sim.ram_contents golden cid in
+          let b = Emu_sim.ram_contents emu cid in
+          Array.iteri (fun i v -> if v <> b.(i) then incr frame_ram_bad) a)
+        rams;
+      if !frame_bad > 0 || !frame_ram_bad > 0 then begin
+        incr mismatch_frames;
+        state_mismatches := !state_mismatches + !frame_bad;
+        ram_mismatches := !ram_mismatches + !frame_ram_bad;
+        if !first = None then first := Some !frames
+      end)
+    groups;
+  {
+    frames = !frames;
+    mismatch_frames = !mismatch_frames;
+    state_mismatches = !state_mismatches;
+    ram_mismatches = !ram_mismatches;
+    first_mismatch_frame = !first;
+    violations = Emu_sim.violations emu;
+    settle_warnings = Ref_sim.settle_warnings golden;
+  }
+
+let compare_edges placement sched ~edges ?seed () =
+  compare_groups placement sched ~groups:(List.map (fun e -> [ e ]) edges)
+    ?seed ()
+
+let compare_frames placement sched ~frames ?seed () =
+  compare_groups placement sched ~groups:frames ?seed ()
+
+let compare_run placement sched ~clocks ~horizon_ps ?seed () =
+  let edges = Edges.stream clocks ~horizon_ps in
+  compare_edges placement sched ~edges ?seed ()
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d frames: %d mismatching frames (%d cells, %d ram words), first=%s; \
+     hold hazards=%d, causality inversions=%d, late events=%d"
+    r.frames r.mismatch_frames r.state_mismatches r.ram_mismatches
+    (match r.first_mismatch_frame with
+    | None -> "-"
+    | Some f -> string_of_int f)
+    r.violations.Emu_sim.hold_hazards
+    r.violations.Emu_sim.causality_inversions
+    r.violations.Emu_sim.late_events

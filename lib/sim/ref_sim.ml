@@ -1,0 +1,226 @@
+open Msched_netlist
+module Edges = Msched_clocking.Edges
+
+type t = {
+  nl : Netlist.t;
+  stim : Stimulus.t;
+  values : bool array;  (* by net index *)
+  clock_levels : bool array;  (* by domain index *)
+  prev_trigger : bool array;  (* by cell index; last seen trigger level *)
+  rams : bool array Ids.Cell.Tbl.t;
+  topo : Ids.Cell.t array;  (* combinational cells in topological order *)
+  mutable warnings : int;
+}
+
+let netlist t = t.nl
+let net_value t n = t.values.(Ids.Net.to_int n)
+let settle_warnings t = t.warnings
+
+let trigger_value t (c : Cell.t) =
+  match c.Cell.trigger with
+  | Some (Cell.Dom_clock d) -> t.clock_levels.(Ids.Dom.to_int d)
+  | Some (Cell.Net_trigger n) -> t.values.(Ids.Net.to_int n)
+  | None -> false
+
+let ram_addr t (c : Cell.t) ~offset ~addr_bits =
+  let addr = ref 0 in
+  for i = 0 to addr_bits - 1 do
+    if t.values.(Ids.Net.to_int c.Cell.data_inputs.(offset + i)) then
+      addr := !addr lor (1 lsl i)
+  done;
+  !addr
+
+let eval_comb t (c : Cell.t) =
+  match c.Cell.kind with
+  | Cell.Gate g ->
+      let inputs =
+        Array.map (fun n -> t.values.(Ids.Net.to_int n)) c.Cell.data_inputs
+      in
+      Some (Cell.eval_gate g inputs)
+  | Cell.Ram { addr_bits } ->
+      let mem = Ids.Cell.Tbl.find t.rams c.Cell.id in
+      Some mem.(ram_addr t c ~offset:(2 + addr_bits) ~addr_bits)
+  | Cell.Latch _ | Cell.Flip_flop | Cell.Input _ | Cell.Clock_source _
+  | Cell.Output ->
+      None
+
+(* Settle combinational logic and transparent latches to a fixed point.
+   One pass over the topological order fully settles pure combinational
+   logic; latch transparency can feed values back, so passes repeat until no
+   latch output changes (bounded: latch loops may genuinely oscillate). *)
+let settle t =
+  let max_passes = 50 in
+  let rec pass i =
+    Array.iter
+      (fun cid ->
+        let c = Netlist.cell t.nl cid in
+        match eval_comb t c, c.Cell.output with
+        | Some v, Some out -> t.values.(Ids.Net.to_int out) <- v
+        | (None | Some _), _ -> ())
+      t.topo;
+    let latch_changed = ref false in
+    Netlist.iter_cells t.nl (fun c ->
+        match c.Cell.kind with
+        | Cell.Latch { active_high } ->
+            let g = trigger_value t c in
+            if g = active_high then begin
+              let d = t.values.(Ids.Net.to_int c.Cell.data_inputs.(0)) in
+              let out = Ids.Net.to_int (Option.get c.Cell.output) in
+              if t.values.(out) <> d then begin
+                t.values.(out) <- d;
+                latch_changed := true
+              end
+            end
+        | Cell.Gate _ | Cell.Flip_flop | Cell.Ram _ | Cell.Input _
+        | Cell.Clock_source _ | Cell.Output ->
+            ());
+    if !latch_changed then
+      if i >= max_passes then t.warnings <- t.warnings + 1 else pass (i + 1)
+  in
+  pass 0
+
+type capture = Ff_q of Ids.Cell.t * bool | Ram_write of Ids.Cell.t * int * bool
+
+(* Captures sample data from the [snapshot] taken before the edge was
+   applied: when a (possibly derived) clock edge and a data change race on
+   the same edge, the old data wins — the same gate-before-data convention
+   the scheduler enforces (and that a master/slave latch pair implements in
+   hardware). *)
+let collect_captures t snapshot =
+  let sampled n = snapshot.(Ids.Net.to_int n) in
+  let snap_addr (c : Cell.t) ~offset ~addr_bits =
+    let addr = ref 0 in
+    for i = 0 to addr_bits - 1 do
+      if sampled c.Cell.data_inputs.(offset + i) then addr := !addr lor (1 lsl i)
+    done;
+    !addr
+  in
+  let captures = ref [] in
+  Netlist.iter_cells t.nl (fun c ->
+      let i = Ids.Cell.to_int c.Cell.id in
+      match c.Cell.kind with
+      | Cell.Flip_flop ->
+          let trig = trigger_value t c in
+          if trig && not t.prev_trigger.(i) then
+            captures :=
+              Ff_q (c.Cell.id, sampled c.Cell.data_inputs.(0)) :: !captures
+      | Cell.Ram { addr_bits } ->
+          let trig = trigger_value t c in
+          if trig && not t.prev_trigger.(i) then begin
+            let we = sampled c.Cell.data_inputs.(0) in
+            if we then
+              let addr = snap_addr c ~offset:2 ~addr_bits in
+              let data = sampled c.Cell.data_inputs.(1) in
+              captures := Ram_write (c.Cell.id, addr, data) :: !captures
+          end
+      | Cell.Gate _ | Cell.Latch _ | Cell.Input _ | Cell.Clock_source _
+      | Cell.Output ->
+          ());
+  !captures
+
+let refresh_prev_triggers t =
+  Netlist.iter_cells t.nl (fun c ->
+      match c.Cell.kind with
+      | Cell.Flip_flop | Cell.Ram _ ->
+          t.prev_trigger.(Ids.Cell.to_int c.Cell.id) <- trigger_value t c
+      | Cell.Gate _ | Cell.Latch _ | Cell.Input _ | Cell.Clock_source _
+      | Cell.Output ->
+          ())
+
+let apply_captures t captures =
+  List.iter
+    (fun cap ->
+      match cap with
+      | Ff_q (cell, v) ->
+          let c = Netlist.cell t.nl cell in
+          t.values.(Ids.Net.to_int (Option.get c.Cell.output)) <- v
+      | Ram_write (cell, addr, data) ->
+          (Ids.Cell.Tbl.find t.rams cell).(addr) <- data)
+    captures
+
+let apply_inputs t domain edge_index =
+  Netlist.iter_cells t.nl (fun c ->
+      match c.Cell.kind with
+      | Cell.Input { domain = Some d } when Ids.Dom.equal d domain ->
+          t.values.(Ids.Net.to_int (Option.get c.Cell.output)) <-
+            Stimulus.value t.stim c ~edge_index
+      | Cell.Input _ | Cell.Gate _ | Cell.Latch _ | Cell.Flip_flop
+      | Cell.Ram _ | Cell.Clock_source _ | Cell.Output ->
+          ())
+
+let apply_edge t (e : Edges.edge) =
+  let di = Ids.Dom.to_int e.Edges.domain in
+  t.clock_levels.(di) <- e.Edges.polarity = Edges.Rising;
+  (match Netlist.clock_source_net t.nl e.Edges.domain with
+  | Some n -> t.values.(Ids.Net.to_int n) <- t.clock_levels.(di)
+  | None -> ());
+  let inputs_pending = ref (e.Edges.polarity = Edges.Rising) in
+  let snapshot = Array.copy t.values in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    settle t;
+    let captures = collect_captures t snapshot in
+    refresh_prev_triggers t;
+    if captures <> [] then begin
+      apply_captures t captures;
+      progress := true
+    end;
+    if !inputs_pending then begin
+      apply_inputs t e.Edges.domain e.Edges.index;
+      inputs_pending := false;
+      progress := true
+    end
+  done;
+  settle t
+
+let run t edges = List.iter (apply_edge t) edges
+
+let state_cells nl =
+  Netlist.fold_cells nl ~init:[] ~f:(fun acc c ->
+      match c.Cell.kind with
+      | Cell.Latch _ | Cell.Flip_flop | Cell.Ram _ -> c.Cell.id :: acc
+      | Cell.Gate _ | Cell.Input _ | Cell.Clock_source _ | Cell.Output -> acc)
+  |> List.rev
+
+let state_snapshot t =
+  List.map
+    (fun cid ->
+      let c = Netlist.cell t.nl cid in
+      (cid, t.values.(Ids.Net.to_int (Option.get c.Cell.output))))
+    (state_cells t.nl)
+
+let ram_contents t cell = Array.copy (Ids.Cell.Tbl.find t.rams cell)
+
+let create nl stim =
+  let topo =
+    match Levelize.compute nl with
+    | Ok lv -> Levelize.topo_cells lv
+    | Error cycle -> raise (Levelize.Combinational_cycle cycle)
+  in
+  let t =
+    {
+      nl;
+      stim;
+      values = Array.make (Netlist.num_nets nl) false;
+      clock_levels = Array.make (Netlist.num_domains nl) false;
+      prev_trigger = Array.make (Netlist.num_cells nl) false;
+      rams = Ids.Cell.Tbl.create 8;
+      topo;
+      warnings = 0;
+    }
+  in
+  Netlist.iter_cells nl (fun c ->
+      match c.Cell.kind with
+      | Cell.Ram { addr_bits } ->
+          Ids.Cell.Tbl.replace t.rams c.Cell.id
+            (Array.make (Cell.ram_words ~addr_bits) false)
+      | Cell.Input { domain = _ } ->
+          t.values.(Ids.Net.to_int (Option.get c.Cell.output)) <-
+            Stimulus.initial stim c
+      | Cell.Gate _ | Cell.Latch _ | Cell.Flip_flop | Cell.Clock_source _
+      | Cell.Output ->
+          ());
+  settle t;
+  refresh_prev_triggers t;
+  t

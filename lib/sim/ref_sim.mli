@@ -1,0 +1,40 @@
+(** Golden reference simulator.
+
+    An event-accurate multi-domain netlist simulator with zero-delay
+    combinational settling.  Edges from the merged clock stream are applied
+    one at a time; on each edge, flip-flops and RAM writes whose triggers
+    rise capture their {e pre-edge} data, then the network settles through
+    gates and transparent latches.  Ripple/derived clocks are handled by
+    iterating capture phases until no further trigger rises.
+
+    This simulator defines correctness: the emulation-schedule simulator is
+    compared against it state-for-state after every edge. *)
+
+open Msched_netlist
+
+type t
+
+val create : Netlist.t -> Stimulus.t -> t
+(** All nets start at [false]; RAM contents start cleared. *)
+
+val netlist : t -> Netlist.t
+
+val apply_edge : t -> Msched_clocking.Edges.edge -> unit
+
+val run : t -> Msched_clocking.Edges.edge list -> unit
+
+val net_value : t -> Ids.Net.t -> bool
+
+val state_cells : Netlist.t -> Ids.Cell.t list
+(** Latches, flip-flops and RAMs — the cells whose outputs constitute the
+    architectural state compared by the fidelity harness. *)
+
+val state_snapshot : t -> (Ids.Cell.t * bool) list
+(** Output value of every state cell (RAMs report their read-data net). *)
+
+val ram_contents : t -> Ids.Cell.t -> bool array
+(** @raise Not_found if the cell is not a RAM. *)
+
+val settle_warnings : t -> int
+(** Number of times combinational settling hit its iteration bound
+    (oscillating latch loops). *)

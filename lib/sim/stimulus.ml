@@ -1,0 +1,24 @@
+open Msched_netlist
+
+type t = { seed : int }
+
+let make ?(seed = 42) _nl = { seed }
+
+(* A small splitmix-style hash; quality is irrelevant, determinism is not. *)
+let hash_bool a b c =
+  let h = ref (a * 0x9e3779b1) in
+  h := !h lxor ((b + 0x85ebca6b) * 0xc2b2ae35);
+  h := !h lxor ((c + 0x27d4eb2f) * 0x165667b1);
+  h := !h lxor (!h lsr 15);
+  !h land 1 = 1
+
+let value t (c : Cell.t) ~edge_index =
+  match c.Cell.kind with
+  | Cell.Input { domain = Some _ } ->
+      hash_bool t.seed (Ids.Cell.to_int c.Cell.id) (edge_index + 1)
+  | Cell.Input { domain = None } -> hash_bool t.seed (Ids.Cell.to_int c.Cell.id) 0
+  | Cell.Gate _ | Cell.Latch _ | Cell.Flip_flop | Cell.Ram _
+  | Cell.Clock_source _ | Cell.Output ->
+      invalid_arg "Stimulus.value: not an input cell"
+
+let initial t c = value t c ~edge_index:(-1)

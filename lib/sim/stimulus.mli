@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random input stimulus.
+
+    Primary inputs carrying a domain annotation change value on that
+    domain's rising edges (modeling a synchronous testbench per domain);
+    domainless inputs are quasi-static.  Values are a pure function of
+    (seed, input cell, edge index), so the reference simulator and the
+    emulation simulator see identical stimulus by construction. *)
+
+open Msched_netlist
+
+type t
+
+val make : ?seed:int -> Netlist.t -> t
+
+val value : t -> Cell.t -> edge_index:int -> bool
+(** Value of an input after the [edge_index]-th rising edge of its domain
+    ([edge_index = -1] gives the initial, pre-first-edge value). *)
+
+val initial : t -> Cell.t -> bool

@@ -1,0 +1,96 @@
+open Msched_netlist
+module Edges = Msched_clocking.Edges
+
+(* VCD identifiers: printable ASCII 33..126, little-endian base 94. *)
+let ident i =
+  let buf = Buffer.create 4 in
+  let rec go i =
+    Buffer.add_char buf (Char.chr (33 + (i mod 94)));
+    if i >= 94 then go (i / 94)
+  in
+  go i;
+  Buffer.contents buf
+
+let sanitize name =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_'
+      then c
+      else '_')
+    name
+
+let trace_run sim ~edges ?nets ppf =
+  let nl = Ref_sim.netlist sim in
+  let nets =
+    match nets with
+    | Some l -> l
+    | None -> List.init (Netlist.num_nets nl) Ids.Net.of_int
+  in
+  let nets = Array.of_list nets in
+  let domains = Netlist.domains nl in
+  let line fmt = Format.fprintf ppf fmt in
+  line "$date reproduction run $end@\n";
+  line "$version msched reference simulator $end@\n";
+  line "$timescale 1ps $end@\n";
+  line "$scope module %s $end@\n" (sanitize (Netlist.design_name nl));
+  Array.iteri
+    (fun i n ->
+      line "$var wire 1 %s %s $end@\n" (ident i)
+        (sanitize (Netlist.net nl n).Netlist.net_name))
+    nets;
+  let clock_base = Array.length nets in
+  List.iteri
+    (fun i d ->
+      line "$var wire 1 %s clk_%s $end@\n"
+        (ident (clock_base + i))
+        (sanitize (Netlist.domain_name nl d)))
+    domains;
+  line "$upscope $end@\n$enddefinitions $end@\n";
+  (* Initial values. *)
+  let last = Array.map (fun n -> Ref_sim.net_value sim n) nets in
+  let clock_last = Array.make (List.length domains) false in
+  line "$dumpvars@\n";
+  Array.iteri (fun i v -> line "%d%s@\n" (Bool.to_int v) (ident i)) last;
+  Array.iteri
+    (fun i v -> line "%d%s@\n" (Bool.to_int v) (ident (clock_base + i)))
+    clock_last;
+  line "$end@\n";
+  let last_time = ref (-1) in
+  List.iter
+    (fun (e : Edges.edge) ->
+      Ref_sim.apply_edge sim e;
+      let stamp = max e.Edges.time_ps (!last_time + 1) in
+      let emitted = ref false in
+      let emit_time () =
+        if not !emitted then begin
+          line "#%d@\n" stamp;
+          emitted := true;
+          last_time := stamp
+        end
+      in
+      (* The synthetic clock wire of the edge's domain. *)
+      let di = Ids.Dom.to_int e.Edges.domain in
+      let level = e.Edges.polarity = Edges.Rising in
+      if clock_last.(di) <> level then begin
+        emit_time ();
+        clock_last.(di) <- level;
+        line "%d%s@\n" (Bool.to_int level) (ident (clock_base + di))
+      end;
+      Array.iteri
+        (fun i n ->
+          let v = Ref_sim.net_value sim n in
+          if v <> last.(i) then begin
+            emit_time ();
+            last.(i) <- v;
+            line "%d%s@\n" (Bool.to_int v) (ident i)
+          end)
+        nets)
+    edges;
+  Format.pp_print_flush ppf ()
+
+let trace_to_string sim ~edges ?nets () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  trace_run sim ~edges ?nets ppf;
+  Buffer.contents buf

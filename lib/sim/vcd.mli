@@ -1,0 +1,26 @@
+(** Value-change-dump (VCD) tracing of reference-simulator runs.
+
+    Runs the golden simulator over a merged multi-domain edge stream and
+    writes an IEEE-1364 VCD trace: every selected net becomes a 1-bit wire,
+    clock domains appear as synthetic [clk_<name>] wires, and time is in
+    picoseconds.  View the result with GTKWave or any VCD viewer — handy
+    for debugging generated designs and understanding MTS behavior. *)
+
+open Msched_netlist
+
+val trace_run :
+  Ref_sim.t ->
+  edges:Msched_clocking.Edges.edge list ->
+  ?nets:Ids.Net.t list ->
+  Format.formatter ->
+  unit
+(** Simulates [edges] on the given (freshly created) simulator, dumping
+    value changes after each edge at its [time_ps].  [nets] defaults to all
+    named nets of the design. *)
+
+val trace_to_string :
+  Ref_sim.t ->
+  edges:Msched_clocking.Edges.edge list ->
+  ?nets:Ids.Net.t list ->
+  unit ->
+  string

@@ -1,0 +1,79 @@
+open Msched_netlist
+module Topology = Msched_arch.Topology
+module System = Msched_arch.System
+
+let test_mesh_neighbors () =
+  let t = Topology.make Topology.Mesh ~nx:3 ~ny:3 in
+  let center = Topology.fpga_at t ~x:1 ~y:1 in
+  Alcotest.(check int) "center degree" 4 (Topology.degree t center);
+  let corner = Topology.fpga_at t ~x:0 ~y:0 in
+  Alcotest.(check int) "corner degree" 2 (Topology.degree t corner)
+
+let test_mesh_distance () =
+  let t = Topology.make Topology.Mesh ~nx:4 ~ny:4 in
+  let a = Topology.fpga_at t ~x:0 ~y:0 in
+  let b = Topology.fpga_at t ~x:3 ~y:2 in
+  Alcotest.(check int) "manhattan" 5 (Topology.distance t a b);
+  Alcotest.(check int) "self" 0 (Topology.distance t a a)
+
+let test_torus_wraps () =
+  let t = Topology.make Topology.Torus ~nx:4 ~ny:4 in
+  let a = Topology.fpga_at t ~x:0 ~y:0 in
+  let b = Topology.fpga_at t ~x:3 ~y:0 in
+  Alcotest.(check int) "wrap distance" 1 (Topology.distance t a b);
+  Alcotest.(check int) "torus degree" 4 (Topology.degree t a)
+
+let test_crossbar () =
+  let t = Topology.make Topology.Crossbar ~nx:3 ~ny:2 in
+  let a = Ids.Fpga.of_int 0 and b = Ids.Fpga.of_int 5 in
+  Alcotest.(check int) "distance 1" 1 (Topology.distance t a b);
+  Alcotest.(check int) "degree n-1" 5 (Topology.degree t a)
+
+let test_make_for_count () =
+  let t = Topology.make_for_count Topology.Mesh 10 in
+  Alcotest.(check bool) "fits" true (Topology.num_fpgas t >= 10)
+
+let test_system_channels () =
+  let t = Topology.make Topology.Mesh ~nx:2 ~ny:2 in
+  let sys = System.make t ~pins_per_fpga:40 in
+  (* Every FPGA has degree 2; width = 40 / (2*2) = 10. *)
+  Array.iter
+    (fun (c : System.channel) ->
+      Alcotest.(check int) "width" 10 c.System.width)
+    (System.channels sys);
+  (* 4 FPGAs x 2 out channels = 8 directed channels. *)
+  Alcotest.(check int) "channel count" 8 (Array.length (System.channels sys));
+  let f0 = Ids.Fpga.of_int 0 in
+  Alcotest.(check int) "out channels" 2 (List.length (System.out_channels sys f0));
+  Alcotest.(check bool) "pins <= budget" true
+    (System.pins_used_per_fpga sys f0 <= 40)
+
+let test_channel_between () =
+  let t = Topology.make Topology.Mesh ~nx:2 ~ny:1 in
+  let sys = System.make t ~pins_per_fpga:8 in
+  let a = Ids.Fpga.of_int 0 and b = Ids.Fpga.of_int 1 in
+  (match System.channel_between sys ~src:a ~dst:b with
+  | Some c ->
+      Alcotest.(check int) "src" 0 (Ids.Fpga.to_int c.System.src);
+      Alcotest.(check int) "dst" 1 (Ids.Fpga.to_int c.System.dst)
+  | None -> Alcotest.fail "expected channel");
+  Alcotest.(check bool) "no self channel" true
+    (System.channel_between sys ~src:a ~dst:a = None)
+
+let test_zero_width_rejected () =
+  let t = Topology.make Topology.Mesh ~nx:3 ~ny:3 in
+  match System.make t ~pins_per_fpga:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected zero-width rejection"
+
+let suite =
+  [
+    Alcotest.test_case "mesh neighbors" `Quick test_mesh_neighbors;
+    Alcotest.test_case "mesh distance" `Quick test_mesh_distance;
+    Alcotest.test_case "torus wraps" `Quick test_torus_wraps;
+    Alcotest.test_case "crossbar" `Quick test_crossbar;
+    Alcotest.test_case "make for count" `Quick test_make_for_count;
+    Alcotest.test_case "system channels" `Quick test_system_channels;
+    Alcotest.test_case "channel between" `Quick test_channel_between;
+    Alcotest.test_case "zero width rejected" `Quick test_zero_width_rejected;
+  ]

@@ -1,0 +1,72 @@
+open Msched_netlist
+
+let eval g ins = Cell.eval_gate g (Array.of_list ins)
+
+let test_truth_tables () =
+  Alcotest.(check bool) "and tt" true (eval Cell.And [ true; true ]);
+  Alcotest.(check bool) "and tf" false (eval Cell.And [ true; false ]);
+  Alcotest.(check bool) "or ff" false (eval Cell.Or [ false; false ]);
+  Alcotest.(check bool) "or ft" true (eval Cell.Or [ false; true ]);
+  Alcotest.(check bool) "nand tt" false (eval Cell.Nand [ true; true ]);
+  Alcotest.(check bool) "nor ff" true (eval Cell.Nor [ false; false ]);
+  Alcotest.(check bool) "xor tf" true (eval Cell.Xor [ true; false ]);
+  Alcotest.(check bool) "xor tt" false (eval Cell.Xor [ true; true ]);
+  Alcotest.(check bool) "xnor tt" true (eval Cell.Xnor [ true; true ]);
+  Alcotest.(check bool) "not t" false (eval Cell.Not [ true ]);
+  Alcotest.(check bool) "buf f" false (eval Cell.Buf [ false ])
+
+let test_mux () =
+  (* inputs = [| sel; a; b |], sel=0 -> a *)
+  Alcotest.(check bool) "mux sel0" true (eval Cell.Mux [ false; true; false ]);
+  Alcotest.(check bool) "mux sel1" false (eval Cell.Mux [ true; true; false ])
+
+let test_variadic () =
+  Alcotest.(check bool) "and3" true (eval Cell.And [ true; true; true ]);
+  Alcotest.(check bool) "or4" true (eval Cell.Or [ false; false; false; true ]);
+  Alcotest.(check bool) "and1" true (eval Cell.And [ true ])
+
+let test_arity_checks () =
+  Alcotest.check_raises "xor arity"
+    (Invalid_argument "gate xor expects 2 inputs, got 3") (fun () ->
+      ignore (eval Cell.Xor [ true; true; true ]));
+  Alcotest.check_raises "not arity"
+    (Invalid_argument "gate not expects 1 inputs, got 2") (fun () ->
+      ignore (eval Cell.Not [ true; false ]))
+
+let test_ram_words () =
+  Alcotest.(check int) "2^4" 16 (Cell.ram_words ~addr_bits:4);
+  Alcotest.(check int) "2^0" 1 (Cell.ram_words ~addr_bits:0);
+  Alcotest.check_raises "negative" (Invalid_argument "ram_words: addr_bits")
+    (fun () -> ignore (Cell.ram_words ~addr_bits:(-1)))
+
+let test_predicates () =
+  let mk kind trigger =
+    {
+      Cell.id = Ids.Cell.of_int 0;
+      kind;
+      data_inputs = [||];
+      trigger;
+      output = None;
+      name = "t";
+    }
+  in
+  let d0 = Ids.Dom.of_int 0 in
+  Alcotest.(check bool) "latch seq" true
+    (Cell.is_sequential (mk (Cell.Latch { active_high = true }) (Some (Cell.Dom_clock d0))));
+  Alcotest.(check bool) "gate comb" true (Cell.is_combinational (mk (Cell.Gate Cell.And) None));
+  Alcotest.(check bool) "gate not seq" false (Cell.is_sequential (mk (Cell.Gate Cell.And) None));
+  Alcotest.(check bool) "input source" true
+    (Cell.is_source (mk (Cell.Input { domain = None }) None));
+  Alcotest.(check bool) "clock source" true
+    (Cell.is_source (mk (Cell.Clock_source d0) None));
+  Alcotest.(check bool) "output not source" false (Cell.is_source (mk Cell.Output None))
+
+let suite =
+  [
+    Alcotest.test_case "gate truth tables" `Quick test_truth_tables;
+    Alcotest.test_case "mux" `Quick test_mux;
+    Alcotest.test_case "variadic gates" `Quick test_variadic;
+    Alcotest.test_case "arity checks" `Quick test_arity_checks;
+    Alcotest.test_case "ram words" `Quick test_ram_words;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+  ]

@@ -1,0 +1,90 @@
+open Msched_netlist
+module Clock = Msched_clocking.Clock
+module Edges = Msched_clocking.Edges
+module Async_gen = Msched_clocking.Async_gen
+
+let d0 = Ids.Dom.of_int 0
+let d1 = Ids.Dom.of_int 1
+
+let test_edge_times () =
+  let c = Clock.make d0 ~name:"c" ~period_ps:1000 ~phase_ps:100 in
+  Alcotest.(check int) "rise 0" 100 (Clock.rising_edge_time c 0);
+  Alcotest.(check int) "rise 3" 3100 (Clock.rising_edge_time c 3);
+  Alcotest.(check int) "fall 0" 600 (Clock.falling_edge_time c 0)
+
+let test_level () =
+  let c = Clock.make d0 ~name:"c" ~period_ps:1000 ~phase_ps:100 in
+  Alcotest.(check bool) "before first rise" false (Clock.level_at c 50);
+  Alcotest.(check bool) "high after rise" true (Clock.level_at c 101);
+  Alcotest.(check bool) "low after fall" false (Clock.level_at c 700);
+  Alcotest.(check bool) "high next period" true (Clock.level_at c 1200)
+
+let test_duty () =
+  let c = Clock.make ~duty:(1, 4) d0 ~name:"c" ~period_ps:1000 in
+  Alcotest.(check int) "fall at 1/4" 250 (Clock.falling_edge_time c 0)
+
+let test_edges_before () =
+  let c = Clock.make d0 ~name:"c" ~period_ps:1000 ~phase_ps:100 in
+  Alcotest.(check int) "none before phase" 0 (Clock.rising_edges_before c 100);
+  Alcotest.(check int) "one" 1 (Clock.rising_edges_before c 101);
+  Alcotest.(check int) "three" 3 (Clock.rising_edges_before c 2200)
+
+let test_invalid () =
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Clock.make: period must be positive") (fun () ->
+      ignore (Clock.make d0 ~name:"c" ~period_ps:0));
+  Alcotest.check_raises "bad duty" (Invalid_argument "Clock.make: duty must be in (0, 1)")
+    (fun () -> ignore (Clock.make ~duty:(5, 4) d0 ~name:"c" ~period_ps:100))
+
+let test_stream_sorted () =
+  let c0 = Clock.make d0 ~name:"a" ~period_ps:700 ~phase_ps:13 in
+  let c1 = Clock.make d1 ~name:"b" ~period_ps:1100 ~phase_ps:57 in
+  let edges = Edges.stream [ c0; c1 ] ~horizon_ps:10_000 in
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "sorted" true (a.Edges.time_ps <= b.Edges.time_ps);
+        check_sorted rest
+    | [ _ ] | [] -> ()
+  in
+  check_sorted edges;
+  Alcotest.(check bool) "nonempty" true (edges <> [])
+
+let test_stream_counts () =
+  let c0 = Clock.make d0 ~name:"a" ~period_ps:1000 ~phase_ps:0 in
+  let edges = Edges.stream [ c0 ] ~horizon_ps:3000 in
+  let rises = Edges.rising_only edges in
+  Alcotest.(check int) "3 rises" 3 (List.length rises);
+  let counts = Edges.count_by_domain ~num_domains:1 edges in
+  Alcotest.(check int) "count" 3 counts.(0);
+  (* indices are consecutive *)
+  List.iteri
+    (fun i e -> Alcotest.(check int) "index" i e.Edges.index)
+    rises
+
+let test_async_gen_distinct_periods () =
+  let clocks = Async_gen.clocks ~seed:1 [ d0; d1; Ids.Dom.of_int 2 ] in
+  let periods = List.map (fun c -> c.Clock.period_ps) clocks in
+  Alcotest.(check int) "three clocks" 3 (List.length clocks);
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare periods))
+
+let test_async_gen_deterministic () =
+  let a = Async_gen.clocks ~seed:5 [ d0; d1 ] in
+  let b = Async_gen.clocks ~seed:5 [ d0; d1 ] in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) "same period" x.Clock.period_ps y.Clock.period_ps;
+      Alcotest.(check int) "same phase" x.Clock.phase_ps y.Clock.phase_ps)
+    a b
+
+let suite =
+  [
+    Alcotest.test_case "edge times" `Quick test_edge_times;
+    Alcotest.test_case "level" `Quick test_level;
+    Alcotest.test_case "duty" `Quick test_duty;
+    Alcotest.test_case "edges before" `Quick test_edges_before;
+    Alcotest.test_case "invalid clocks" `Quick test_invalid;
+    Alcotest.test_case "stream sorted" `Quick test_stream_sorted;
+    Alcotest.test_case "stream counts" `Quick test_stream_counts;
+    Alcotest.test_case "async distinct periods" `Quick test_async_gen_distinct_periods;
+    Alcotest.test_case "async deterministic" `Quick test_async_gen_deterministic;
+  ]

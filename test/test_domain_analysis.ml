@@ -1,0 +1,115 @@
+open Msched_netlist
+module B = Netlist.Builder
+module DA = Msched_mts.Domain_analysis
+module Design_gen = Msched_gen.Design_gen
+
+let doms_testable = Alcotest.testable (fun ppf s ->
+    Ids.Dom.Set.iter (fun d -> Format.fprintf ppf "%a " Ids.Dom.pp d) s)
+    Ids.Dom.Set.equal
+
+let set l = Ids.Dom.Set.of_list (List.map Ids.Dom.of_int l)
+
+let test_fig1_transitions () =
+  let d = Design_gen.fig1 () in
+  let nl = d.Design_gen.netlist in
+  let da = DA.compute nl in
+  (* net named "Q" must transition in both domains *)
+  let find name =
+    let found = ref None in
+    Netlist.iter_nets nl (fun n ni ->
+        if ni.Netlist.net_name = name then found := Some n);
+    Option.get !found
+  in
+  Alcotest.(check doms_testable) "Q trans" (set [ 0; 1 ]) (DA.transitions da (find "Q"));
+  Alcotest.(check doms_testable) "Q samples" (set [ 0; 1 ]) (DA.samples da (find "Q"));
+  Alcotest.(check bool) "Q is MTS" true (DA.is_mts_net da (find "Q"));
+  Alcotest.(check doms_testable) "N3 trans" (set [ 0 ]) (DA.transitions da (find "N3"));
+  Alcotest.(check bool) "N3 not MTS" false (DA.is_mts_net da (find "N3"))
+
+let test_ff_output_single_domain () =
+  let b = B.create () in
+  let d0 = B.add_domain b "c0" and d1 = B.add_domain b "c1" in
+  let i0 = B.add_input b ~domain:d0 () in
+  let i1 = B.add_input b ~domain:d1 () in
+  let mix = B.add_gate b Cell.Xor [ i0; i1 ] in
+  (* Even though the data mixes domains, a dom-clocked FF output only
+     transitions in its own clock domain. *)
+  let q = B.add_flip_flop b ~data:mix ~clock:(Cell.Dom_clock d0) () in
+  let (_ : Ids.Cell.t) = B.add_output b q in
+  let nl = B.finalize b in
+  let da = DA.compute nl in
+  Alcotest.(check doms_testable) "mix both" (set [ 0; 1 ]) (DA.transitions da mix);
+  Alcotest.(check doms_testable) "q single" (set [ 0 ]) (DA.transitions da q)
+
+let test_latch_passes_data_domains () =
+  let b = B.create () in
+  let d0 = B.add_domain b "c0" and d1 = B.add_domain b "c1" in
+  let data = B.add_input b ~domain:d0 () in
+  let gate = B.add_input b ~domain:d1 () in
+  let q = B.add_latch b ~data ~gate:(Cell.Net_trigger gate) () in
+  let s = B.add_flip_flop b ~data:q ~clock:(Cell.Dom_clock d0) () in
+  let (_ : Ids.Cell.t) = B.add_output b s in
+  let nl = B.finalize b in
+  let da = DA.compute nl in
+  (* Transparent latches pass data transitions and add gate domains. *)
+  Alcotest.(check doms_testable) "latch out both" (set [ 0; 1 ]) (DA.transitions da q)
+
+let test_latch_feedback_converges () =
+  let b = B.create () in
+  let d0 = B.add_domain b "c0" in
+  let gate = B.add_input b ~domain:d0 () in
+  let loop = B.fresh_net b () in
+  let g = B.add_gate b Cell.Not [ loop ] in
+  B.add_latch_to b ~data:g ~gate:(Cell.Net_trigger gate) ~output:loop ();
+  let nl = B.finalize b in
+  let da = DA.compute nl in
+  Alcotest.(check doms_testable) "loop converges" (set [ 0 ]) (DA.transitions da loop)
+
+let test_mts_state_detection () =
+  let d = Design_gen.fig3_latch () in
+  let nl = d.Design_gen.netlist in
+  let da = DA.compute nl in
+  let mts_states =
+    Netlist.fold_cells nl ~init:0 ~f:(fun acc c ->
+        if DA.is_mts_state da c then acc + 1 else acc)
+  in
+  Alcotest.(check int) "one MTS latch" 1 mts_states
+
+let test_ram_domains () =
+  let b = B.create () in
+  let d0 = B.add_domain b "c0" and d1 = B.add_domain b "c1" in
+  let wa = B.add_input b ~domain:d0 () in
+  let ra = B.add_input b ~domain:d1 () in
+  let rdata =
+    B.add_ram b ~addr_bits:1 ~write_enable:wa ~write_data:wa ~write_addr:[ wa ]
+      ~read_addr:[ ra ] ~clock:(Cell.Dom_clock d0) ()
+  in
+  let s = B.add_flip_flop b ~data:rdata ~clock:(Cell.Dom_clock d1) () in
+  let (_ : Ids.Cell.t) = B.add_output b s in
+  let nl = B.finalize b in
+  let da = DA.compute nl in
+  (* Read data changes with the write clock and with the read address. *)
+  Alcotest.(check doms_testable) "rdata both" (set [ 0; 1 ]) (DA.transitions da rdata);
+  Alcotest.(check bool) "rdata multi-transition" true (DA.is_multi_transition da rdata)
+
+let test_static_input_no_domains () =
+  let b = B.create () in
+  let d0 = B.add_domain b "c0" in
+  let i = B.add_input b () in
+  let q = B.add_flip_flop b ~data:i ~clock:(Cell.Dom_clock d0) () in
+  let (_ : Ids.Cell.t) = B.add_output b q in
+  let nl = B.finalize b in
+  let da = DA.compute nl in
+  Alcotest.(check doms_testable) "static input" (set []) (DA.transitions da i);
+  Alcotest.(check doms_testable) "sampled by d0" (set [ 0 ]) (DA.samples da i)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 transitions/samples" `Quick test_fig1_transitions;
+    Alcotest.test_case "ff output single domain" `Quick test_ff_output_single_domain;
+    Alcotest.test_case "latch passes data domains" `Quick test_latch_passes_data_domains;
+    Alcotest.test_case "latch feedback converges" `Quick test_latch_feedback_converges;
+    Alcotest.test_case "mts state detection" `Quick test_mts_state_detection;
+    Alcotest.test_case "ram domains" `Quick test_ram_domains;
+    Alcotest.test_case "static input" `Quick test_static_input_no_domains;
+  ]

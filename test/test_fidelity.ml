@@ -1,0 +1,115 @@
+open Msched_netlist
+module Tiers = Msched_route.Tiers
+module Async_gen = Msched_clocking.Async_gen
+module Fidelity = Msched_sim.Fidelity
+module Design_gen = Msched_gen.Design_gen
+
+let compile ?(weight = 24) (d : Design_gen.design) =
+  let copts =
+    { Msched.Compile.default_options with Msched.Compile.max_block_weight = weight }
+  in
+  Msched.Compile.prepare ~options:copts d.Design_gen.netlist
+
+let run prepared opts ~seed ~horizon =
+  let sched = Msched.Compile.route prepared opts in
+  let clocks =
+    Async_gen.clocks ~seed (Netlist.domains prepared.Msched.Compile.netlist)
+  in
+  Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+    ~horizon_ps:horizon ~seed ()
+
+let check_perfect name prepared opts =
+  let r = run prepared opts ~seed:42 ~horizon:250_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s perfect: %s" name (Format.asprintf "%a" Fidelity.pp_report r))
+    true (Fidelity.perfect r)
+
+let test_fig1_all_modes () =
+  let prepared = compile ~weight:4 (Design_gen.fig1 ()) in
+  check_perfect "fig1 virtual" prepared Tiers.default_options;
+  check_perfect "fig1 hard" prepared Tiers.hard_options
+
+let test_fig3_virtual_and_hard () =
+  let prepared = compile ~weight:4 (Design_gen.fig3_latch ()) in
+  check_perfect "fig3 virtual" prepared Tiers.default_options;
+  check_perfect "fig3 hard" prepared Tiers.hard_options
+
+let test_handshake_all_modes () =
+  let prepared = compile ~weight:6 (Design_gen.handshake ()) in
+  check_perfect "handshake virtual" prepared Tiers.default_options;
+  check_perfect "handshake hard" prepared Tiers.hard_options;
+  (* A correct 2-flop CDC survives even naive routing. *)
+  check_perfect "handshake naive" prepared Tiers.naive_options
+
+let test_random_mts_virtual_perfect () =
+  let d = Design_gen.random_multidomain ~seed:77 ~domains:3 ~modules:30 ~mts_fraction:0.25 () in
+  let prepared = compile ~weight:32 d in
+  check_perfect "random virtual" prepared Tiers.default_options;
+  check_perfect "random hard" prepared Tiers.hard_options
+
+let test_memory_design_virtual_perfect () =
+  let d = Design_gen.design2_like ~scale:0.03 () in
+  let prepared = compile ~weight:64 d in
+  check_perfect "memory virtual" prepared Tiers.default_options
+
+let test_naive_breaks_mts_designs () =
+  (* Over several seeds, naive scheduling must corrupt at least one
+     MTS-heavy design (statistically it corrupts nearly all). *)
+  let broken = ref 0 in
+  List.iter
+    (fun seed ->
+      let d =
+        Design_gen.random_multidomain ~seed ~domains:3 ~modules:30
+          ~mts_fraction:0.3 ()
+      in
+      let prepared = compile ~weight:32 d in
+      let r = run prepared Tiers.naive_options ~seed ~horizon:250_000 in
+      if not (Fidelity.perfect r) then incr broken)
+    [ 301; 302; 303 ];
+  Alcotest.(check bool) "naive corrupts MTS designs" true (!broken >= 1)
+
+let test_report_counts () =
+  let prepared = compile ~weight:4 (Design_gen.fig1 ()) in
+  let r = run prepared Tiers.default_options ~seed:1 ~horizon:100_000 in
+  Alcotest.(check bool) "frames counted" true (r.Fidelity.frames > 10);
+  Alcotest.(check (option int)) "no first mismatch" None r.Fidelity.first_mismatch_frame
+
+let prop_virtual_always_faithful =
+  QCheck.Test.make ~name:"MTS virtual scheduling is always faithful" ~count:6
+    QCheck.(int_range 500 900)
+    (fun seed ->
+      let d =
+        Design_gen.random_multidomain ~seed ~domains:2 ~modules:20
+          ~mts_fraction:0.3 ()
+      in
+      let prepared = compile ~weight:32 d in
+      let r = run prepared Tiers.default_options ~seed ~horizon:150_000 in
+      Fidelity.perfect r)
+
+let prop_extensions_faithful =
+  (* Designs exercising the future-work extensions: MTS flip-flops (rewritten
+     to master/slave pairs) and RAMs with multi-domain write clocks. *)
+  QCheck.Test.make ~name:"MTS flip-flops and cross-written RAMs are faithful"
+    ~count:10
+    QCheck.(int_range 100 1999)
+    (fun seed ->
+      let d =
+        Design_gen.random_multidomain ~seed ~domains:3 ~modules:15
+          ~mts_fraction:0.2 ~mts_ffs:3 ~xwrite_rams:2 ()
+      in
+      let prepared = compile ~weight:32 d in
+      let r = run prepared Tiers.default_options ~seed ~horizon:150_000 in
+      Fidelity.perfect r)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 all modes" `Quick test_fig1_all_modes;
+    Alcotest.test_case "fig3 virtual+hard" `Quick test_fig3_virtual_and_hard;
+    Alcotest.test_case "handshake all modes" `Quick test_handshake_all_modes;
+    Alcotest.test_case "random virtual/hard perfect" `Slow test_random_mts_virtual_perfect;
+    Alcotest.test_case "memory design perfect" `Slow test_memory_design_virtual_perfect;
+    Alcotest.test_case "naive breaks MTS designs" `Slow test_naive_breaks_mts_designs;
+    Alcotest.test_case "report counts" `Quick test_report_counts;
+    QCheck_alcotest.to_alcotest prop_virtual_always_faithful;
+    QCheck_alcotest.to_alcotest prop_extensions_faithful;
+  ]

@@ -1,0 +1,167 @@
+module Tiers = Msched_route.Tiers
+module Schedule = Msched_route.Schedule
+module Async_gen = Msched_clocking.Async_gen
+module Netlist = Msched_netlist.Netlist
+module Fidelity = Msched_sim.Fidelity
+module Design_gen = Msched_gen.Design_gen
+
+let prepared_of ?(weight = 32) (d : Design_gen.design) =
+  let copts =
+    { Msched.Compile.default_options with Msched.Compile.max_block_weight = weight }
+  in
+  Msched.Compile.prepare ~options:copts d.Design_gen.netlist
+
+let fidelity prepared sched ~seed =
+  let clocks =
+    Async_gen.clocks ~seed (Netlist.domains prepared.Msched.Compile.netlist)
+  in
+  Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+    ~horizon_ps:200_000 ~seed ()
+
+let test_forward_faithful () =
+  List.iter
+    (fun seed ->
+      let d =
+        Design_gen.random_multidomain ~seed ~domains:3 ~modules:25
+          ~mts_fraction:0.3 ()
+      in
+      let prepared = prepared_of d in
+      let sched = Msched.Compile.route_forward prepared Tiers.default_options in
+      let r = fidelity prepared sched ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d faithful: %s" seed
+           (Format.asprintf "%a" Fidelity.pp_report r))
+        true (Fidelity.perfect r))
+    [ 41; 42; 43 ]
+
+let test_forward_fig_designs () =
+  List.iter
+    (fun (d : Design_gen.design) ->
+      let prepared = prepared_of ~weight:4 d in
+      let sched = Msched.Compile.route_forward prepared Tiers.default_options in
+      let r = fidelity prepared sched ~seed:5 in
+      Alcotest.(check bool) (d.Design_gen.design_label ^ " faithful") true
+        (Fidelity.perfect r))
+    [ Design_gen.fig1 (); Design_gen.fig3_latch () ]
+
+let test_forward_departure_after_settle () =
+  let d =
+    Design_gen.random_multidomain ~seed:44 ~domains:2 ~modules:20 ~mts_fraction:0.2 ()
+  in
+  let prepared = prepared_of d in
+  let sched = Msched.Compile.route_forward prepared Tiers.default_options in
+  List.iter
+    (fun (ls : Schedule.link_sched) ->
+      List.iter
+        (fun (tr : Schedule.transport) ->
+          Alcotest.(check bool) "dep >= 0" true (tr.Schedule.tr_fwd_dep >= 0);
+          Alcotest.(check bool) "arr after dep" true
+            (tr.Schedule.tr_fwd_arr > tr.Schedule.tr_fwd_dep);
+          Alcotest.(check bool) "arr within frame" true
+            (tr.Schedule.tr_fwd_arr <= sched.Schedule.length))
+        ls.Schedule.ls_transports)
+    sched.Schedule.link_scheds
+
+let test_forward_equalize_aligns_arrivals () =
+  let d =
+    Design_gen.random_multidomain ~seed:45 ~domains:3 ~modules:25 ~mts_fraction:0.3 ()
+  in
+  let prepared = prepared_of d in
+  let sched = Msched.Compile.route_forward prepared Tiers.default_options in
+  let da = prepared.Msched.Compile.analysis in
+  List.iter
+    (fun (ls : Schedule.link_sched) ->
+      if
+        Msched_mts.Domain_analysis.is_multi_transition da
+          ls.Schedule.ls_link.Msched_route.Link.net
+      then
+        match ls.Schedule.ls_transports with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+            List.iter
+              (fun (tr : Schedule.transport) ->
+                Alcotest.(check int) "aligned arrival" first.Schedule.tr_fwd_arr
+                  tr.Schedule.tr_fwd_arr)
+              rest)
+    sched.Schedule.link_scheds
+
+let test_hard_mode_unsupported () =
+  let d = Design_gen.fig1 () in
+  let prepared = prepared_of ~weight:4 d in
+  match Msched.Compile.route_forward prepared Tiers.hard_options with
+  | exception Msched_route.Forward.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_duel_reverse_not_worse_usually () =
+  (* Reverse scheduling delivers values just-in-time; it should not lose to
+     forward scheduling by more than a slot or two on average.  We assert a
+     weak bound per-seed: reverse <= forward + 2. *)
+  List.iter
+    (fun seed ->
+      let d =
+        Design_gen.random_multidomain ~seed ~domains:2 ~modules:25
+          ~mts_fraction:0.25 ()
+      in
+      let prepared = prepared_of d in
+      let rev = Msched.Compile.route prepared Tiers.default_options in
+      let fwd = Msched.Compile.route_forward prepared Tiers.default_options in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: reverse %d vs forward %d" seed
+           rev.Schedule.length fwd.Schedule.length)
+        true
+        (rev.Schedule.length <= fwd.Schedule.length + 2))
+    [ 46; 47; 48 ]
+
+let test_multi_domain_ram_fidelity () =
+  (* Shared memory with a multi-domain write clock: the future-work
+     extension must emulate faithfully under both schedulers. *)
+  let b = Msched_netlist.Netlist.Builder.create ~design_name:"shared_ram" () in
+  let module B = Msched_netlist.Netlist.Builder in
+  let module Cell = Msched_netlist.Cell in
+  let d0 = B.add_domain b "c0" and d1 = B.add_domain b "c1" in
+  let i0 = B.add_input b ~domain:d0 () in
+  let i1 = B.add_input b ~domain:d1 () in
+  let q0 = B.add_flip_flop b ~data:i0 ~clock:(Cell.Dom_clock d0) () in
+  let q1 = B.add_flip_flop b ~data:i1 ~clock:(Cell.Dom_clock d1) () in
+  (* Race-free multi-domain write clock: one signal per domain. *)
+  let wclk = B.add_gate b Cell.Or [ q0; q1 ] in
+  let wdata = B.add_flip_flop b ~data:q0 ~clock:(Cell.Dom_clock d0) () in
+  let waddr = B.add_flip_flop b ~data:q1 ~clock:(Cell.Dom_clock d1) () in
+  let raddr = B.add_flip_flop b ~data:waddr ~clock:(Cell.Dom_clock d1) () in
+  let we = B.add_flip_flop b ~data:i0 ~clock:(Cell.Dom_clock d0) () in
+  let rdata =
+    B.add_ram b ~addr_bits:1 ~write_enable:we ~write_data:wdata
+      ~write_addr:[ waddr ] ~read_addr:[ raddr ]
+      ~clock:(Cell.Net_trigger wclk) ()
+  in
+  let s0 = B.add_flip_flop b ~data:rdata ~clock:(Cell.Dom_clock d0) () in
+  let s1 = B.add_flip_flop b ~data:rdata ~clock:(Cell.Dom_clock d1) () in
+  let (_ : Msched_netlist.Ids.Cell.t) = B.add_output b s0 in
+  let (_ : Msched_netlist.Ids.Cell.t) = B.add_output b s1 in
+  let nl = B.finalize b in
+  let copts =
+    { Msched.Compile.default_options with Msched.Compile.max_block_weight = 4 }
+  in
+  let prepared = Msched.Compile.prepare ~options:copts nl in
+  List.iter
+    (fun (label, sched) ->
+      let r = fidelity prepared sched ~seed:9 in
+      Alcotest.(check bool)
+        (label ^ ": " ^ Format.asprintf "%a" Fidelity.pp_report r)
+        true (Fidelity.perfect r))
+    [
+      ("reverse", Msched.Compile.route prepared Tiers.default_options);
+      ("forward", Msched.Compile.route_forward prepared Tiers.default_options);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "forward faithful" `Slow test_forward_faithful;
+    Alcotest.test_case "forward fig designs" `Quick test_forward_fig_designs;
+    Alcotest.test_case "departure after settle" `Quick test_forward_departure_after_settle;
+    Alcotest.test_case "equalize aligns arrivals" `Quick
+      test_forward_equalize_aligns_arrivals;
+    Alcotest.test_case "hard mode unsupported" `Quick test_hard_mode_unsupported;
+    Alcotest.test_case "scheduler duel" `Slow test_duel_reverse_not_worse_usually;
+    Alcotest.test_case "multi-domain ram fidelity" `Quick test_multi_domain_ram_fidelity;
+  ]

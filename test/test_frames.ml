@@ -1,0 +1,125 @@
+module Clock = Msched_clocking.Clock
+module Edges = Msched_clocking.Edges
+module Async_gen = Msched_clocking.Async_gen
+module Netlist = Msched_netlist.Netlist
+module Ids = Msched_netlist.Ids
+module Tiers = Msched_route.Tiers
+module Fidelity = Msched_sim.Fidelity
+module Design_gen = Msched_gen.Design_gen
+
+let d0 = Ids.Dom.of_int 0
+let d1 = Ids.Dom.of_int 1
+
+let test_frames_grouping () =
+  let c0 = Clock.make d0 ~name:"a" ~period_ps:1000 ~phase_ps:0 in
+  let c1 = Clock.make d1 ~name:"b" ~period_ps:1300 ~phase_ps:100 in
+  let edges = Edges.stream [ c0; c1 ] ~horizon_ps:10_000 in
+  let frames = Edges.frames edges ~frame_ps:400 in
+  (* Every edge lands in the window of its timestamp. *)
+  List.iter
+    (fun frame ->
+      match frame with
+      | [] -> Alcotest.fail "empty frame emitted"
+      | first :: _ ->
+          let k = first.Edges.time_ps / 400 in
+          List.iter
+            (fun e -> Alcotest.(check int) "same window" k (e.Edges.time_ps / 400))
+            frame)
+    frames;
+  (* All edges preserved, in order. *)
+  let flat = List.concat frames in
+  Alcotest.(check int) "edge count" (List.length edges) (List.length flat);
+  List.iter2
+    (fun a b -> Alcotest.(check int) "order" a.Edges.time_ps b.Edges.time_ps)
+    edges flat
+
+let test_frames_rejects_bad_length () =
+  Alcotest.check_raises "frame_ps 0" (Invalid_argument "Edges.frames: frame_ps")
+    (fun () -> ignore (Edges.frames [] ~frame_ps:0))
+
+let test_max_edges_diagnostic () =
+  let c0 = Clock.make d0 ~name:"a" ~period_ps:1000 ~phase_ps:0 in
+  let edges = Edges.stream [ c0 ] ~horizon_ps:5_000 in
+  (* Window of 2500ps holds multiple rising edges of the same clock. *)
+  let coarse = Edges.frames edges ~frame_ps:2500 in
+  Alcotest.(check bool) "overrun detected" true
+    (Edges.max_edges_per_domain_in_frame coarse > 1);
+  let fine = Edges.frames edges ~frame_ps:400 in
+  Alcotest.(check int) "fine ok" 1 (Edges.max_edges_per_domain_in_frame fine)
+
+let compile (d : Design_gen.design) ~weight =
+  let copts =
+    { Msched.Compile.default_options with Msched.Compile.max_block_weight = weight }
+  in
+  let prepared = Msched.Compile.prepare ~options:copts d.Design_gen.netlist in
+  (prepared, Msched.Compile.route prepared Tiers.default_options)
+
+let test_single_edge_frames_equal_edge_mode () =
+  let d = Design_gen.fig3_latch () in
+  let prepared, sched = compile d ~weight:4 in
+  let clocks = Async_gen.clocks ~seed:5 (Netlist.domains prepared.Msched.Compile.netlist) in
+  let edges = Edges.stream clocks ~horizon_ps:200_000 in
+  let r_edges =
+    Fidelity.compare_edges prepared.Msched.Compile.placement sched ~edges ()
+  in
+  let r_frames =
+    Fidelity.compare_frames prepared.Msched.Compile.placement sched
+      ~frames:(List.map (fun e -> [ e ]) edges)
+      ()
+  in
+  Alcotest.(check int) "same frames" r_edges.Fidelity.frames r_frames.Fidelity.frames;
+  Alcotest.(check int) "same mismatches" r_edges.Fidelity.state_mismatches
+    r_frames.Fidelity.state_mismatches;
+  Alcotest.(check bool) "both perfect" true
+    (Fidelity.perfect r_edges && Fidelity.perfect r_frames)
+
+let test_handshake_multi_edge_frames () =
+  (* A correct 2-flop CDC must survive frame quantization: multi-edge frames
+     group edges of both domains into single frames. *)
+  let d = Design_gen.handshake () in
+  let prepared, sched = compile d ~weight:6 in
+  let clocks = Async_gen.clocks ~seed:7 (Netlist.domains prepared.Msched.Compile.netlist) in
+  let edges = Edges.stream clocks ~horizon_ps:800_000 in
+  let frames = Edges.frames edges ~frame_ps:4000 in
+  Alcotest.(check int) "no per-domain overrun" 1
+    (Edges.max_edges_per_domain_in_frame frames);
+  (* There must actually be multi-edge frames for the test to mean much. *)
+  Alcotest.(check bool) "some multi-edge frames" true
+    (List.exists (fun f -> List.length f > 1) frames);
+  let r =
+    Fidelity.compare_frames prepared.Msched.Compile.placement sched ~frames ()
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "handshake quantization-proof: %a" Fidelity.pp_report r)
+    true (Fidelity.perfect r)
+
+let test_single_domain_multi_edge_frames_exact () =
+  (* With one domain per frame window there is no cross-domain race, so even
+     multi-edge frames (rise+fall of one clock) must match exactly. *)
+  let d = Design_gen.fig1 () in
+  let prepared, sched = compile d ~weight:4 in
+  let clocks = Async_gen.clocks ~seed:11 (Netlist.domains prepared.Msched.Compile.netlist) in
+  let edges = Edges.stream clocks ~horizon_ps:300_000 in
+  (* Keep only domain-0 edges: rise+fall pairs can then share frames. *)
+  let edges0 = List.filter (fun e -> Ids.Dom.to_int e.Edges.domain = 0) edges in
+  let frames = Edges.frames edges0 ~frame_ps:12_000 in
+  let r =
+    Fidelity.compare_frames prepared.Msched.Compile.placement sched ~frames ()
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "single-domain frames exact: %a" Fidelity.pp_report r)
+    true
+    (r.Fidelity.state_mismatches = 0 && r.Fidelity.ram_mismatches = 0)
+
+let suite =
+  [
+    Alcotest.test_case "frames grouping" `Quick test_frames_grouping;
+    Alcotest.test_case "frames rejects bad length" `Quick test_frames_rejects_bad_length;
+    Alcotest.test_case "max edges diagnostic" `Quick test_max_edges_diagnostic;
+    Alcotest.test_case "single-edge frames = edge mode" `Quick
+      test_single_edge_frames_equal_edge_mode;
+    Alcotest.test_case "handshake multi-edge frames" `Quick
+      test_handshake_multi_edge_frames;
+    Alcotest.test_case "single-domain multi-edge exact" `Quick
+      test_single_domain_multi_edge_frames_exact;
+  ]

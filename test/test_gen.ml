@@ -1,0 +1,97 @@
+open Msched_netlist
+module Design_gen = Msched_gen.Design_gen
+module DA = Msched_mts.Domain_analysis
+
+let test_all_generators_valid () =
+  let designs =
+    [
+      Design_gen.fig1 ();
+      Design_gen.fig3_latch ();
+      Design_gen.handshake ();
+      Design_gen.random_multidomain ~domains:3 ~modules:20 ~mts_fraction:0.2 ();
+      Design_gen.design1_like ~scale:0.02 ();
+      Design_gen.design2_like ~scale:0.02 ();
+    ]
+  in
+  List.iter
+    (fun (d : Design_gen.design) ->
+      match Levelize.compute d.Design_gen.netlist with
+      | Ok _ -> ()
+      | Error _ ->
+          Alcotest.fail (d.Design_gen.design_label ^ " has a combinational cycle"))
+    designs
+
+let test_deterministic () =
+  let a = Design_gen.random_multidomain ~seed:3 ~domains:2 ~modules:10 ~mts_fraction:0.2 () in
+  let b = Design_gen.random_multidomain ~seed:3 ~domains:2 ~modules:10 ~mts_fraction:0.2 () in
+  Alcotest.(check int) "same cells" (Netlist.num_cells a.Design_gen.netlist)
+    (Netlist.num_cells b.Design_gen.netlist);
+  Alcotest.(check int) "same nets" (Netlist.num_nets a.Design_gen.netlist)
+    (Netlist.num_nets b.Design_gen.netlist)
+
+let test_domain_counts () =
+  let d1 = Design_gen.design1_like ~scale:0.02 () in
+  let d2 = Design_gen.design2_like ~scale:0.02 () in
+  Alcotest.(check int) "design1 3 domains" 3 (Netlist.num_domains d1.Design_gen.netlist);
+  Alcotest.(check int) "design2 2 domains" 2 (Netlist.num_domains d2.Design_gen.netlist)
+
+let test_mts_presence () =
+  let d =
+    Design_gen.random_multidomain ~seed:4 ~domains:2 ~modules:20 ~mts_fraction:0.3 ()
+  in
+  let nl = d.Design_gen.netlist in
+  let da = DA.compute nl in
+  let mts = ref 0 in
+  Netlist.iter_nets nl (fun n _ -> if DA.is_multi_transition da n then incr mts);
+  Alcotest.(check bool) "has MTS nets" true (!mts > 0);
+  Alcotest.(check bool) "counted mts modules" true (d.Design_gen.mts_modules > 0)
+
+let test_design2_has_rams () =
+  let d = Design_gen.design2_like ~scale:0.02 () in
+  let stats = Stats.compute d.Design_gen.netlist in
+  Alcotest.(check bool) "rams present" true (stats.Stats.num_rams > 0);
+  Alcotest.(check bool) "latches present (mts modules)" true (stats.Stats.num_latches > 0)
+
+let test_gate_paths_race_free () =
+  (* Every net-triggered state element's gate cone must contain at most one
+     signal per domain at each input level — we check the weaker but
+     sufficient generator invariant: latch gates are 1-level ORs of
+     registered signals from distinct domains. *)
+  let d =
+    Design_gen.random_multidomain ~seed:5 ~domains:3 ~modules:30 ~mts_fraction:0.3 ()
+  in
+  let nl = d.Design_gen.netlist in
+  let da = DA.compute nl in
+  Netlist.iter_cells nl (fun c ->
+      match c.Cell.kind, c.Cell.trigger with
+      | Cell.Latch _, Some (Cell.Net_trigger g) ->
+          let drv = Netlist.driver nl g in
+          (match drv.Cell.kind with
+          | Cell.Gate Cell.Or ->
+              let domains_per_input =
+                Array.to_list drv.Cell.data_inputs
+                |> List.map (fun n -> DA.transitions da n)
+              in
+              (* inputs have pairwise-disjoint domain sets *)
+              let rec pairwise = function
+                | [] -> true
+                | x :: rest ->
+                    List.for_all
+                      (fun y -> Ids.Dom.Set.is_empty (Ids.Dom.Set.inter x y))
+                      rest
+                    && pairwise rest
+              in
+              Alcotest.(check bool) "gate inputs domain-disjoint" true
+                (pairwise domains_per_input)
+          | _ -> Alcotest.fail "latch gate should be a single OR")
+      | _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "generators valid" `Quick test_all_generators_valid;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "domain counts" `Quick test_domain_counts;
+    Alcotest.test_case "mts presence" `Quick test_mts_presence;
+    Alcotest.test_case "design2 has rams" `Quick test_design2_has_rams;
+    Alcotest.test_case "gate paths race free" `Quick test_gate_paths_race_free;
+  ]

@@ -1,0 +1,50 @@
+open Msched_netlist
+
+let test_roundtrip () =
+  for i = 0 to 100 do
+    Alcotest.(check int) "roundtrip" i (Ids.Net.to_int (Ids.Net.of_int i))
+  done
+
+let test_negative_rejected () =
+  Alcotest.check_raises "negative id" (Invalid_argument "n id must be non-negative")
+    (fun () -> ignore (Ids.Net.of_int (-1)))
+
+let test_equal_compare () =
+  let a = Ids.Cell.of_int 3 and b = Ids.Cell.of_int 4 in
+  Alcotest.(check bool) "equal self" true (Ids.Cell.equal a a);
+  Alcotest.(check bool) "not equal" false (Ids.Cell.equal a b);
+  Alcotest.(check bool) "compare" true (Ids.Cell.compare a b < 0)
+
+let test_set_map () =
+  let s =
+    Ids.Dom.Set.of_list [ Ids.Dom.of_int 2; Ids.Dom.of_int 0; Ids.Dom.of_int 2 ]
+  in
+  Alcotest.(check int) "set dedups" 2 (Ids.Dom.Set.cardinal s);
+  let m = Ids.Dom.Map.add (Ids.Dom.of_int 1) "one" Ids.Dom.Map.empty in
+  Alcotest.(check (option string))
+    "map find" (Some "one")
+    (Ids.Dom.Map.find_opt (Ids.Dom.of_int 1) m)
+
+let test_tbl () =
+  let tbl = Ids.Block.Tbl.create 4 in
+  Ids.Block.Tbl.replace tbl (Ids.Block.of_int 7) "seven";
+  Alcotest.(check (option string))
+    "tbl find" (Some "seven")
+    (Ids.Block.Tbl.find_opt tbl (Ids.Block.of_int 7));
+  Alcotest.(check (option string))
+    "tbl miss" None
+    (Ids.Block.Tbl.find_opt tbl (Ids.Block.of_int 8))
+
+let test_pp () =
+  Alcotest.(check string) "pp net" "n5" (Format.asprintf "%a" Ids.Net.pp (Ids.Net.of_int 5));
+  Alcotest.(check string) "pp fpga" "f0" (Format.asprintf "%a" Ids.Fpga.pp (Ids.Fpga.of_int 0))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "negative rejected" `Quick test_negative_rejected;
+    Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+    Alcotest.test_case "set/map" `Quick test_set_map;
+    Alcotest.test_case "tbl" `Quick test_tbl;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

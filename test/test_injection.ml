@@ -1,0 +1,123 @@
+(* Failure injection: corrupt a known-good schedule and check the fidelity
+   harness actually notices.  This guards against a vacuous detector — if a
+   broken schedule still "passes", the zero-mismatch results elsewhere would
+   mean nothing. *)
+
+module Tiers = Msched_route.Tiers
+module Schedule = Msched_route.Schedule
+module Netlist = Msched_netlist.Netlist
+module Async_gen = Msched_clocking.Async_gen
+module Fidelity = Msched_sim.Fidelity
+module Design_gen = Msched_gen.Design_gen
+
+let prepared_and_sched seed =
+  let d =
+    Design_gen.random_multidomain ~seed ~domains:3 ~modules:30 ~mts_fraction:0.3 ()
+  in
+  let copts =
+    { Msched.Compile.default_options with Msched.Compile.max_block_weight = 32 }
+  in
+  let prepared = Msched.Compile.prepare ~options:copts d.Design_gen.netlist in
+  (prepared, Msched.Compile.route prepared Tiers.default_options)
+
+let fidelity prepared sched ~seed =
+  let clocks =
+    Async_gen.clocks ~seed (Netlist.domains prepared.Msched.Compile.netlist)
+  in
+  Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+    ~horizon_ps:250_000 ~seed ()
+
+let test_baseline_perfect () =
+  let prepared, sched = prepared_and_sched 71 in
+  Alcotest.(check bool) "baseline perfect" true
+    (Fidelity.perfect (fidelity prepared sched ~seed:71))
+
+let test_dropped_holdoffs_detected () =
+  let prepared, sched = prepared_and_sched 71 in
+  let broken = { sched with Schedule.holdoffs = [] } in
+  let r = fidelity prepared broken ~seed:71 in
+  Alcotest.(check bool)
+    (Format.asprintf "dropping hold-offs detected: %a" Fidelity.pp_report r)
+    false (Fidelity.perfect r)
+
+let test_stale_departure_detected () =
+  (* Sample every transport one slot after its scheduled departure: sources
+     on tight paths are then read before... after their settle window moved;
+     concretely, push all departures to the frame end so transports sample
+     pre-settle values. *)
+  let prepared, sched = prepared_and_sched 72 in
+  let broken =
+    {
+      sched with
+      Schedule.link_scheds =
+        List.map
+          (fun ls ->
+            {
+              ls with
+              Schedule.ls_transports =
+                List.map
+                  (fun tr ->
+                    if tr.Schedule.tr_hard then tr
+                    else { tr with Schedule.tr_fwd_dep = 0 })
+                  ls.Schedule.ls_transports;
+            })
+          sched.Schedule.link_scheds;
+    }
+  in
+  let r = fidelity prepared broken ~seed:72 in
+  Alcotest.(check bool)
+    (Format.asprintf "early sampling detected: %a" Fidelity.pp_report r)
+    false (Fidelity.perfect r)
+
+let test_truncated_frame_detected () =
+  (* Halving the frame makes in-flight values late. *)
+  let prepared, sched = prepared_and_sched 73 in
+  let broken = { sched with Schedule.length = max 1 (sched.Schedule.length / 2) } in
+  let r = fidelity prepared broken ~seed:73 in
+  Alcotest.(check bool)
+    (Format.asprintf "short frame detected: %a" Fidelity.pp_report r)
+    true
+    ((not (Fidelity.perfect r)) || r.Fidelity.violations.Msched_sim.Emu_sim.late_events > 0)
+
+let test_dropped_transport_detected () =
+  (* Remove all transports of one multi-fanout link: its destination never
+     hears about the net again. *)
+  let prepared, sched = prepared_and_sched 74 in
+  let dropped = ref false in
+  let broken =
+    {
+      sched with
+      Schedule.link_scheds =
+        List.filter
+          (fun (_ : Schedule.link_sched) ->
+            if !dropped then true
+            else begin
+              dropped := true;
+              false
+            end)
+          sched.Schedule.link_scheds;
+    }
+  in
+  Alcotest.(check bool) "a link was dropped" true !dropped;
+  let r = fidelity prepared broken ~seed:74 in
+  Alcotest.(check bool)
+    (Format.asprintf "dropped transport detected: %a" Fidelity.pp_report r)
+    false (Fidelity.perfect r)
+
+let test_emulator_deterministic () =
+  let prepared, sched = prepared_and_sched 75 in
+  let r1 = fidelity prepared sched ~seed:75 in
+  let r2 = fidelity prepared sched ~seed:75 in
+  Alcotest.(check int) "same mismatches" r1.Fidelity.state_mismatches
+    r2.Fidelity.state_mismatches;
+  Alcotest.(check int) "same frames" r1.Fidelity.frames r2.Fidelity.frames
+
+let suite =
+  [
+    Alcotest.test_case "baseline perfect" `Quick test_baseline_perfect;
+    Alcotest.test_case "dropped holdoffs detected" `Quick test_dropped_holdoffs_detected;
+    Alcotest.test_case "stale departure detected" `Quick test_stale_departure_detected;
+    Alcotest.test_case "truncated frame detected" `Quick test_truncated_frame_detected;
+    Alcotest.test_case "dropped transport detected" `Quick test_dropped_transport_detected;
+    Alcotest.test_case "emulator deterministic" `Quick test_emulator_deterministic;
+  ]

@@ -1,0 +1,117 @@
+open Msched_netlist
+module B = Netlist.Builder
+
+let test_levels () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i1 = B.add_input b ~domain:d () in
+  let i2 = B.add_input b ~domain:d () in
+  let g1 = B.add_gate b Cell.And [ i1; i2 ] in
+  let g2 = B.add_gate b Cell.Or [ g1; i1 ] in
+  let q = B.add_flip_flop b ~data:g2 ~clock:(Cell.Dom_clock d) () in
+  let g3 = B.add_gate b Cell.Not [ q ] in
+  let nl = B.finalize b in
+  let lv = Levelize.compute_exn nl in
+  Alcotest.(check int) "input level" 0 (Levelize.net_level lv i1);
+  Alcotest.(check int) "g1 level" 1 (Levelize.net_level lv g1);
+  Alcotest.(check int) "g2 level" 2 (Levelize.net_level lv g2);
+  Alcotest.(check int) "ff output level" 0 (Levelize.net_level lv q);
+  Alcotest.(check int) "g3 level" 1 (Levelize.net_level lv g3);
+  Alcotest.(check int) "max level" 2 (Levelize.max_level lv)
+
+let test_topo_order () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i = B.add_input b ~domain:d () in
+  let g1 = B.add_gate b Cell.Not [ i ] in
+  let g2 = B.add_gate b Cell.Not [ g1 ] in
+  let (_ : Ids.Net.t) = B.add_gate b Cell.Not [ g2 ] in
+  let nl = B.finalize b in
+  let lv = Levelize.compute_exn nl in
+  let order = Array.to_list (Levelize.topo_cells lv) in
+  Alcotest.(check int) "three comb cells" 3 (List.length order);
+  (* Each cell appears after its combinational inputs' drivers. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun cid ->
+      let c = Netlist.cell nl cid in
+      List.iter
+        (fun n ->
+          let drv = (Netlist.driver nl n).Cell.id in
+          if Levelize.is_comb_through (Netlist.driver nl n) then
+            Alcotest.(check bool)
+              "input driver precedes" true
+              (Hashtbl.mem seen (Ids.Cell.to_int drv)))
+        (Levelize.comb_inputs nl c);
+      Hashtbl.replace seen (Ids.Cell.to_int cid) ())
+    order
+
+let test_cycle_detected () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i = B.add_input b ~domain:d () in
+  let loop = B.fresh_net b () in
+  let g1 = B.add_gate b Cell.And [ i; loop ] in
+  B.add_gate_to b Cell.Not [ g1 ] ~output:loop;
+  let nl = B.finalize b in
+  match Levelize.compute nl with
+  | Error cycle -> Alcotest.(check bool) "cycle nonempty" true (cycle <> [])
+  | Ok _ -> Alcotest.fail "expected a combinational cycle"
+
+let test_latch_feedback_is_not_a_cycle () =
+  (* A loop broken by a latch must levelize fine. *)
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let gate = B.add_input b ~domain:d () in
+  let loop = B.fresh_net b () in
+  let g1 = B.add_gate b Cell.Not [ loop ] in
+  B.add_latch_to b ~data:g1 ~gate:(Cell.Net_trigger gate) ~output:loop ();
+  let nl = B.finalize b in
+  match Levelize.compute nl with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "latch feedback should not be a comb cycle"
+
+let test_ram_read_path_is_comb () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i = B.add_input b ~domain:d () in
+  let addr = B.add_gate b Cell.Not [ i ] in
+  let rdata =
+    B.add_ram b ~addr_bits:1 ~write_enable:i ~write_data:i ~write_addr:[ i ]
+      ~read_addr:[ addr ] ~clock:(Cell.Dom_clock d) ()
+  in
+  let nl = B.finalize b in
+  let lv = Levelize.compute_exn nl in
+  (* rdata is one level past the read address. *)
+  Alcotest.(check int) "ram read level" 2 (Levelize.net_level lv rdata)
+
+let test_comb_pin_classification () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i = B.add_input b ~domain:d () in
+  let (_ : Ids.Net.t) =
+    B.add_ram b ~addr_bits:1 ~write_enable:i ~write_data:i ~write_addr:[ i ]
+      ~read_addr:[ i ] ~clock:(Cell.Dom_clock d) ()
+  in
+  let nl = B.finalize b in
+  let ram =
+    Netlist.fold_cells nl ~init:None ~f:(fun acc c ->
+        match c.Cell.kind with Cell.Ram _ -> Some c | _ -> acc)
+    |> Option.get
+  in
+  Alcotest.(check bool) "we pin not comb" false
+    (Levelize.is_comb_pin ram (Netlist.Data_pin 0));
+  Alcotest.(check bool) "waddr pin not comb" false
+    (Levelize.is_comb_pin ram (Netlist.Data_pin 2));
+  Alcotest.(check bool) "raddr pin comb" true
+    (Levelize.is_comb_pin ram (Netlist.Data_pin 3))
+
+let suite =
+  [
+    Alcotest.test_case "levels" `Quick test_levels;
+    Alcotest.test_case "topo order" `Quick test_topo_order;
+    Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+    Alcotest.test_case "latch feedback ok" `Quick test_latch_feedback_is_not_a_cycle;
+    Alcotest.test_case "ram read path comb" `Quick test_ram_read_path_is_comb;
+    Alcotest.test_case "comb pin classification" `Quick test_comb_pin_classification;
+  ]

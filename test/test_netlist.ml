@@ -1,0 +1,136 @@
+open Msched_netlist
+module B = Netlist.Builder
+
+let build_simple () =
+  let b = B.create ~design_name:"simple" () in
+  let d = B.add_domain b "clk" in
+  let i = B.add_input b ~name:"i" ~domain:d () in
+  let g = B.add_gate b ~name:"g" Cell.Not [ i ] in
+  let q = B.add_flip_flop b ~name:"q" ~data:g ~clock:(Cell.Dom_clock d) () in
+  let (_ : Ids.Cell.t) = B.add_output b ~name:"o" q in
+  (B.finalize b, d, i, g, q)
+
+let test_counts () =
+  let nl, _, _, _, _ = build_simple () in
+  Alcotest.(check int) "domains" 1 (Netlist.num_domains nl);
+  Alcotest.(check int) "cells" 4 (Netlist.num_cells nl);
+  Alcotest.(check int) "nets" 3 (Netlist.num_nets nl)
+
+let test_driver_fanout () =
+  let nl, _, i, g, q = build_simple () in
+  let driver_of n = (Netlist.driver nl n).Cell.name in
+  Alcotest.(check string) "i driver" "i" (driver_of i);
+  Alcotest.(check string) "g driver" "g" (driver_of g);
+  Alcotest.(check string) "q driver" "q" (driver_of q);
+  Alcotest.(check int) "i fanouts" 1 (Array.length (Netlist.fanouts nl i));
+  (* q feeds the output cell *)
+  Alcotest.(check int) "q fanouts" 1 (Array.length (Netlist.fanouts nl q))
+
+let test_undriven_rejected () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let dangling = B.fresh_net b ~name:"dangling" () in
+  let (_ : Ids.Net.t) =
+    B.add_flip_flop b ~data:dangling ~clock:(Cell.Dom_clock d) ()
+  in
+  match B.finalize b with
+  | exception Netlist.Invalid (Netlist.Undriven_net n) ->
+      Alcotest.(check int) "the dangling net" (Ids.Net.to_int dangling)
+        (Ids.Net.to_int n)
+  | exception e -> raise e
+  | _ -> Alcotest.fail "expected Undriven_net"
+
+let test_double_drive_rejected () =
+  let b = B.create () in
+  let n = B.fresh_net b () in
+  let i = B.add_input b () in
+  B.add_gate_to b Cell.Buf [ i ] ~output:n;
+  match B.add_gate_to b Cell.Buf [ i ] ~output:n with
+  | exception Netlist.Invalid (Netlist.Multiple_drivers _) -> ()
+  | exception e -> raise e
+  | () -> Alcotest.fail "expected Multiple_drivers"
+
+let test_unknown_domain_rejected () =
+  let b = B.create () in
+  let i = B.add_input b () in
+  let (_ : Ids.Net.t) =
+    B.add_flip_flop b ~data:i ~clock:(Cell.Dom_clock (Ids.Dom.of_int 5)) ()
+  in
+  match B.finalize b with
+  | exception Netlist.Invalid (Netlist.Unknown_domain _) -> ()
+  | exception e -> raise e
+  | _ -> Alcotest.fail "expected Unknown_domain"
+
+let test_clock_source_idempotent () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let c1 = B.add_clock_source b d in
+  let c2 = B.add_clock_source b d in
+  Alcotest.(check int) "same net" (Ids.Net.to_int c1) (Ids.Net.to_int c2);
+  let nl = B.finalize b in
+  Alcotest.(check (option int))
+    "registered" (Some (Ids.Net.to_int c1))
+    (Option.map Ids.Net.to_int (Netlist.clock_source_net nl d))
+
+let test_trigger_fanout_recorded () =
+  (* A net-triggered latch's gate net lists a Trigger_pin fanout. *)
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let data = B.add_input b ~domain:d () in
+  let gate = B.add_input b ~domain:d () in
+  let (_ : Ids.Net.t) = B.add_latch b ~data ~gate:(Cell.Net_trigger gate) () in
+  let nl = B.finalize b in
+  let fanouts = Netlist.fanouts nl gate in
+  Alcotest.(check bool) "trigger fanout" true
+    (Array.exists
+       (fun (tm : Netlist.term) -> tm.Netlist.term_pin = Netlist.Trigger_pin)
+       fanouts)
+
+let test_dom_clock_trigger_fanout_on_clock_source () =
+  (* With a materialized clock source, Dom_clock triggers appear in its
+     fanout so analyses see the dependency. *)
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let clk = B.add_clock_source b d in
+  let i = B.add_input b ~domain:d () in
+  let (_ : Ids.Net.t) = B.add_flip_flop b ~data:i ~clock:(Cell.Dom_clock d) () in
+  let nl = B.finalize b in
+  Alcotest.(check bool) "clock fanout has trigger" true
+    (Array.exists
+       (fun (tm : Netlist.term) -> tm.Netlist.term_pin = Netlist.Trigger_pin)
+       (Netlist.fanouts nl clk))
+
+let test_ram_arity () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i = B.add_input b ~domain:d () in
+  match
+    B.add_ram b ~addr_bits:2 ~write_enable:i ~write_data:i ~write_addr:[ i ]
+      ~read_addr:[ i; i ] ~clock:(Cell.Dom_clock d) ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected address width mismatch"
+
+let test_term_input_net () =
+  let nl, _, i, g, _ = build_simple () in
+  let tm = (Netlist.fanouts nl i).(0) in
+  Alcotest.(check int) "term input" (Ids.Net.to_int i)
+    (Ids.Net.to_int (Netlist.term_input_net nl tm));
+  let tm_g = (Netlist.fanouts nl g).(0) in
+  Alcotest.(check int) "ff data input" (Ids.Net.to_int g)
+    (Ids.Net.to_int (Netlist.term_input_net nl tm_g))
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "driver/fanout" `Quick test_driver_fanout;
+    Alcotest.test_case "undriven rejected" `Quick test_undriven_rejected;
+    Alcotest.test_case "double drive rejected" `Quick test_double_drive_rejected;
+    Alcotest.test_case "unknown domain rejected" `Quick test_unknown_domain_rejected;
+    Alcotest.test_case "clock source idempotent" `Quick test_clock_source_idempotent;
+    Alcotest.test_case "trigger fanout recorded" `Quick test_trigger_fanout_recorded;
+    Alcotest.test_case "dom-clock fanout on clock source" `Quick
+      test_dom_clock_trigger_fanout_on_clock_source;
+    Alcotest.test_case "ram arity" `Quick test_ram_arity;
+    Alcotest.test_case "term input net" `Quick test_term_input_net;
+  ]

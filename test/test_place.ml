@@ -1,0 +1,109 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+module Placement = Msched_place.Placement
+module Topology = Msched_arch.Topology
+module System = Msched_arch.System
+module Design_gen = Msched_gen.Design_gen
+
+let prepared () =
+  let d =
+    Design_gen.random_multidomain ~seed:7 ~domains:2 ~modules:15 ~mts_fraction:0.2 ()
+  in
+  let part = Partition.make d.Design_gen.netlist ~max_weight:24 () in
+  let topo = Topology.make_for_count Topology.Mesh (Partition.num_blocks part) in
+  let sys = System.make topo ~pins_per_fpga:80 in
+  (part, sys)
+
+let test_bijective () =
+  let part, sys = prepared () in
+  let pl = Placement.place part sys () in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let f = Ids.Fpga.to_int (Placement.fpga_of_block pl b) in
+      Alcotest.(check bool) "unique fpga" false (Hashtbl.mem seen f);
+      Hashtbl.replace seen f ())
+    (Partition.blocks part)
+
+let test_inverse_consistent () =
+  let part, sys = prepared () in
+  let pl = Placement.place part sys () in
+  List.iter
+    (fun b ->
+      let f = Placement.fpga_of_block pl b in
+      match Placement.block_of_fpga pl f with
+      | Some b' -> Alcotest.(check int) "roundtrip" (Ids.Block.to_int b) (Ids.Block.to_int b')
+      | None -> Alcotest.fail "fpga lost its block")
+    (Partition.blocks part)
+
+let test_annealing_not_worse () =
+  let part, sys = prepared () in
+  let constructive = Placement.place part sys ~effort:0 () in
+  let annealed = Placement.place part sys ~effort:6 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "annealed %d <= constructive %d" (Placement.wirelength annealed)
+       (Placement.wirelength constructive))
+    true
+    (Placement.wirelength annealed <= Placement.wirelength constructive)
+
+let test_fpga_of_cell () =
+  let part, sys = prepared () in
+  let pl = Placement.place part sys () in
+  let nl = Partition.netlist part in
+  Netlist.iter_cells nl (fun c ->
+      let expected = Placement.fpga_of_block pl (Partition.block_of_cell part c.Cell.id) in
+      Alcotest.(check int) "fpga_of_cell"
+        (Ids.Fpga.to_int expected)
+        (Ids.Fpga.to_int (Placement.fpga_of_cell pl c.Cell.id)))
+
+let test_too_many_blocks_rejected () =
+  let part, _ = prepared () in
+  let tiny = System.make (Topology.make Topology.Mesh ~nx:1 ~ny:2) ~pins_per_fpga:8 in
+  if Partition.num_blocks part > 2 then
+    match Placement.place part tiny () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected too-many-blocks rejection"
+
+let test_of_assignment_duplicate_rejected () =
+  let part, sys = prepared () in
+  let n = Partition.num_blocks part in
+  if n >= 2 then begin
+    let assignment = Array.make n (Ids.Fpga.of_int 0) in
+    match Placement.of_assignment part sys assignment with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected duplicate-FPGA rejection"
+  end
+
+let test_pinned_blocks () =
+  let part, sys = prepared () in
+  if Partition.num_blocks part >= 2 then begin
+    let b0 = Ids.Block.of_int 0 and b1 = Ids.Block.of_int 1 in
+    let f0 = Ids.Fpga.of_int 3 and f1 = Ids.Fpga.of_int 0 in
+    let pl = Placement.place part sys ~pinned:[ (b0, f0); (b1, f1) ] () in
+    Alcotest.(check int) "b0 pinned" 3 (Ids.Fpga.to_int (Placement.fpga_of_block pl b0));
+    Alcotest.(check int) "b1 pinned" 0 (Ids.Fpga.to_int (Placement.fpga_of_block pl b1))
+  end
+
+let test_pinned_conflicts_rejected () =
+  let part, sys = prepared () in
+  if Partition.num_blocks part >= 2 then begin
+    let b0 = Ids.Block.of_int 0 and b1 = Ids.Block.of_int 1 in
+    let f = Ids.Fpga.of_int 0 in
+    match Placement.place part sys ~pinned:[ (b0, f); (b1, f) ] () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected conflicting-pin rejection"
+  end
+
+let suite =
+  [
+    Alcotest.test_case "bijective" `Quick test_bijective;
+    Alcotest.test_case "inverse consistent" `Quick test_inverse_consistent;
+    Alcotest.test_case "annealing not worse" `Quick test_annealing_not_worse;
+    Alcotest.test_case "fpga_of_cell" `Quick test_fpga_of_cell;
+    Alcotest.test_case "too many blocks rejected" `Quick test_too_many_blocks_rejected;
+    Alcotest.test_case "duplicate assignment rejected" `Quick
+      test_of_assignment_duplicate_rejected;
+    Alcotest.test_case "pinned blocks" `Quick test_pinned_blocks;
+    Alcotest.test_case "pinned conflicts rejected" `Quick
+      test_pinned_conflicts_rejected;
+  ]

@@ -1,0 +1,167 @@
+open Msched_netlist
+module B = Netlist.Builder
+module Clock = Msched_clocking.Clock
+module Edges = Msched_clocking.Edges
+module Ref_sim = Msched_sim.Ref_sim
+module Stimulus = Msched_sim.Stimulus
+
+let d0 = Ids.Dom.of_int 0
+
+let rise k = { Edges.domain = d0; polarity = Edges.Rising; index = k; time_ps = k * 100 }
+let fall k = { Edges.domain = d0; polarity = Edges.Falling; index = k; time_ps = (k * 100) + 50 }
+
+(* A 1-bit toggle: q' = not q. *)
+let toggle_design () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let q = B.fresh_net b ~name:"q" () in
+  let nq = B.add_gate b Cell.Not [ q ] in
+  B.add_flip_flop_to b ~data:nq ~clock:(Cell.Dom_clock d) ~output:q ();
+  let (_ : Ids.Cell.t) = B.add_output b q in
+  (B.finalize b, q)
+
+let test_ff_toggles () =
+  let nl, q = toggle_design () in
+  let sim = Ref_sim.create nl (Stimulus.make nl) in
+  Alcotest.(check bool) "initial" false (Ref_sim.net_value sim q);
+  Ref_sim.apply_edge sim (rise 0);
+  Alcotest.(check bool) "after rise 0" true (Ref_sim.net_value sim q);
+  Ref_sim.apply_edge sim (fall 0);
+  Alcotest.(check bool) "falling edge no capture" true (Ref_sim.net_value sim q);
+  Ref_sim.apply_edge sim (rise 1);
+  Alcotest.(check bool) "after rise 1" false (Ref_sim.net_value sim q)
+
+let test_ff_captures_pre_edge () =
+  (* Two flip-flops in a chain must shift, not fall through. *)
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i = B.add_input b ~domain:d () in
+  let q1 = B.add_flip_flop b ~data:i ~clock:(Cell.Dom_clock d) () in
+  let q2 = B.add_flip_flop b ~data:q1 ~clock:(Cell.Dom_clock d) () in
+  let (_ : Ids.Cell.t) = B.add_output b q2 in
+  let nl = B.finalize b in
+  let stim = Stimulus.make ~seed:1 nl in
+  let sim = Ref_sim.create nl stim in
+  let q1_before = Ref_sim.net_value sim q1 in
+  Ref_sim.apply_edge sim (rise 0);
+  (* q2 must have captured q1's PRE-edge value. *)
+  Alcotest.(check bool) "shift semantics" q1_before (Ref_sim.net_value sim q2)
+
+let test_latch_transparent () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let data = B.add_input b ~domain:d () in
+  let clk = B.add_clock_source b d in
+  let q = B.add_latch b ~data ~gate:(Cell.Net_trigger clk) () in
+  let (_ : Ids.Cell.t) = B.add_output b q in
+  let nl = B.finalize b in
+  let stim = Stimulus.make ~seed:2 nl in
+  let sim = Ref_sim.create nl stim in
+  (* While the clock is high the latch follows data; when low it holds. *)
+  Ref_sim.apply_edge sim (rise 0);
+  let data_v = Ref_sim.net_value sim data in
+  Alcotest.(check bool) "transparent" data_v (Ref_sim.net_value sim q);
+  Ref_sim.apply_edge sim (fall 0);
+  let held = Ref_sim.net_value sim q in
+  Ref_sim.apply_edge sim (rise 1);
+  (* New data comes with the rising edge; latch follows again. *)
+  let data_v' = Ref_sim.net_value sim data in
+  Alcotest.(check bool) "follows again" data_v' (Ref_sim.net_value sim q);
+  ignore held
+
+let test_latch_holds_on_close () =
+  (* Gate closes: the latch keeps the pre-edge data even though data
+     changes on the same edge. *)
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let data = B.add_input b ~domain:d () in
+  let clk = B.add_clock_source b d in
+  let ngate = B.add_gate b Cell.Not [ clk ] in
+  (* active-high latch gated by NOT clk: open while clk low *)
+  let q = B.add_latch b ~data ~gate:(Cell.Net_trigger ngate) () in
+  let (_ : Ids.Cell.t) = B.add_output b q in
+  let nl = B.finalize b in
+  let stim = Stimulus.make ~seed:3 nl in
+  let sim = Ref_sim.create nl stim in
+  (* clk low initially: latch open, q follows initial data *)
+  let initial_data = Ref_sim.net_value sim data in
+  Alcotest.(check bool) "open initially" initial_data (Ref_sim.net_value sim q);
+  (* Rising edge: gate closes AND data may change; held value must be the
+     pre-edge data. *)
+  Ref_sim.apply_edge sim (rise 0);
+  Alcotest.(check bool) "held pre-edge value" initial_data (Ref_sim.net_value sim q)
+
+let test_ram_write_read () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let we = B.add_input b ~domain:d () in
+  let wdata = B.add_input b ~domain:d () in
+  let addr = B.add_input b ~domain:d () in
+  let rdata =
+    B.add_ram b ~addr_bits:1 ~write_enable:we ~write_data:wdata
+      ~write_addr:[ addr ] ~read_addr:[ addr ] ~clock:(Cell.Dom_clock d) ()
+  in
+  let (_ : Ids.Cell.t) = B.add_output b rdata in
+  let nl = B.finalize b in
+  let stim = Stimulus.make ~seed:4 nl in
+  let sim = Ref_sim.create nl stim in
+  (* Drive a few edges and check that the RAM contents track committed
+     writes: after each rising edge where we=1 (pre-edge), mem[addr] is the
+     pre-edge wdata. *)
+  let prev = ref None in
+  for k = 0 to 7 do
+    let pre_we = Ref_sim.net_value sim we in
+    let pre_data = Ref_sim.net_value sim wdata in
+    let pre_addr = if Ref_sim.net_value sim addr then 1 else 0 in
+    Ref_sim.apply_edge sim (rise k);
+    if pre_we then prev := Some (pre_addr, pre_data);
+    (match !prev with
+    | Some (a, v) ->
+        let ram_cell =
+          List.find
+            (fun cid ->
+              match (Netlist.cell nl cid).Cell.kind with
+              | Cell.Ram _ -> true
+              | _ -> false)
+            (Ref_sim.state_cells nl)
+        in
+        let mem = Ref_sim.ram_contents sim ram_cell in
+        Alcotest.(check bool) "committed write visible" v mem.(a)
+    | None -> ());
+    Ref_sim.apply_edge sim (fall k)
+  done
+
+let test_state_snapshot_stable_order () =
+  let nl, _ = toggle_design () in
+  let sim = Ref_sim.create nl (Stimulus.make nl) in
+  let s1 = Ref_sim.state_snapshot sim in
+  let s2 = Ref_sim.state_snapshot sim in
+  List.iter2
+    (fun (a, _) (b, _) -> Alcotest.(check int) "order" (Ids.Cell.to_int a) (Ids.Cell.to_int b))
+    s1 s2
+
+let test_stimulus_deterministic () =
+  let nl, _ = toggle_design () in
+  let s1 = Stimulus.make ~seed:9 nl and s2 = Stimulus.make ~seed:9 nl in
+  let cell =
+    Netlist.fold_cells nl ~init:None ~f:(fun acc c ->
+        match c.Cell.kind with Cell.Input _ -> Some c | _ -> acc)
+  in
+  match cell with
+  | None -> () (* toggle has no inputs; fine *)
+  | Some c ->
+      for k = -1 to 20 do
+        Alcotest.(check bool) "same" (Stimulus.value s1 c ~edge_index:k)
+          (Stimulus.value s2 c ~edge_index:k)
+      done
+
+let suite =
+  [
+    Alcotest.test_case "ff toggles" `Quick test_ff_toggles;
+    Alcotest.test_case "ff captures pre-edge" `Quick test_ff_captures_pre_edge;
+    Alcotest.test_case "latch transparent" `Quick test_latch_transparent;
+    Alcotest.test_case "latch holds on close" `Quick test_latch_holds_on_close;
+    Alcotest.test_case "ram write/read" `Quick test_ram_write_read;
+    Alcotest.test_case "snapshot order stable" `Quick test_state_snapshot_stable_order;
+    Alcotest.test_case "stimulus deterministic" `Quick test_stimulus_deterministic;
+  ]

@@ -1,0 +1,82 @@
+open Msched_netlist
+module B = Netlist.Builder
+
+(* i1 -> g1 -> g2 -> ff.d ; i1 -> g2 (reconvergent: min 1, max 2 to g2 out) *)
+let diamond () =
+  let b = B.create () in
+  let d = B.add_domain b "clk" in
+  let i1 = B.add_input b ~domain:d () in
+  let g1 = B.add_gate b Cell.Not [ i1 ] in
+  let g2 = B.add_gate b Cell.And [ g1; i1 ] in
+  let q = B.add_flip_flop b ~data:g2 ~clock:(Cell.Dom_clock d) () in
+  let (_ : Ids.Cell.t) = B.add_output b q in
+  (B.finalize b, i1, g1, g2, q)
+
+let region_of nl = Traverse.make nl ~member:(fun _ -> true)
+
+let test_delays () =
+  let nl, i1, g1, g2, _ = diamond () in
+  let region = region_of nl in
+  let tbl = Traverse.delays_from region i1 in
+  let d n = Ids.Net.Tbl.find tbl n in
+  Alcotest.(check int) "src dmin" 0 (d i1).Traverse.dmin;
+  Alcotest.(check int) "src dmax" 0 (d i1).Traverse.dmax;
+  Alcotest.(check int) "g1 dmin" 1 (d g1).Traverse.dmin;
+  Alcotest.(check int) "g2 dmin (short side)" 1 (d g2).Traverse.dmin;
+  Alcotest.(check int) "g2 dmax (long side)" 2 (d g2).Traverse.dmax
+
+let test_sink_terms () =
+  let nl, i1, _, g2, _ = diamond () in
+  let region = region_of nl in
+  let sinks = Traverse.sink_terms_from region i1 in
+  (* The flip-flop data pin, reached through g2. *)
+  let ff_sink =
+    List.find_opt
+      (fun ((tm : Netlist.term), _) ->
+        match (Netlist.cell nl tm.Netlist.term_cell).Cell.kind with
+        | Cell.Flip_flop -> true
+        | _ -> false)
+      sinks
+  in
+  match ff_sink with
+  | None -> Alcotest.fail "flip-flop sink not found"
+  | Some (_, delay) ->
+      Alcotest.(check int) "delay min" 1 delay.Traverse.dmin;
+      Alcotest.(check int) "delay max" 2 delay.Traverse.dmax;
+      ignore g2
+
+let test_reaches () =
+  let nl, i1, g1, g2, q = diamond () in
+  let region = region_of nl in
+  Alcotest.(check bool) "i1 reaches g2" true (Traverse.reaches region i1 g2);
+  Alcotest.(check bool) "g1 reaches g2" true (Traverse.reaches region g1 g2);
+  Alcotest.(check bool) "i1 does not reach q (ff cut)" false
+    (Traverse.reaches region i1 q)
+
+let test_region_restriction () =
+  let nl, i1, g1, g2, _ = diamond () in
+  (* Exclude g2's cell from the region: i1 only reaches g1. *)
+  let g2_cell = (Netlist.driver nl g2).Cell.id in
+  let region =
+    Traverse.make nl ~member:(fun c -> not (Ids.Cell.equal c g2_cell))
+  in
+  Alcotest.(check bool) "reaches g1" true (Traverse.reaches region i1 g1);
+  Alcotest.(check bool) "not g2" false (Traverse.reaches region i1 g2)
+
+let test_cones () =
+  let nl, i1, _, g2, q = diamond () in
+  let fanin = Traverse.fanin_cone nl g2 in
+  Alcotest.(check bool) "fanin has input driver" true
+    (Ids.Cell.Set.mem (Netlist.driver nl i1).Cell.id fanin);
+  let fanout = Traverse.fanout_cone nl i1 in
+  Alcotest.(check bool) "fanout has ff" true
+    (Ids.Cell.Set.mem (Netlist.driver nl q).Cell.id fanout)
+
+let suite =
+  [
+    Alcotest.test_case "min/max delays" `Quick test_delays;
+    Alcotest.test_case "sink terms" `Quick test_sink_terms;
+    Alcotest.test_case "reaches" `Quick test_reaches;
+    Alcotest.test_case "region restriction" `Quick test_region_restriction;
+    Alcotest.test_case "cones" `Quick test_cones;
+  ]

@@ -1,0 +1,57 @@
+module Netlist = Msched_netlist.Netlist
+module Async_gen = Msched_clocking.Async_gen
+module Edges = Msched_clocking.Edges
+module Ref_sim = Msched_sim.Ref_sim
+module Stimulus = Msched_sim.Stimulus
+module Vcd = Msched_sim.Vcd
+module Design_gen = Msched_gen.Design_gen
+
+let trace () =
+  let d = Design_gen.fig1 () in
+  let nl = d.Design_gen.netlist in
+  let sim = Ref_sim.create nl (Stimulus.make ~seed:3 nl) in
+  let clocks = Async_gen.clocks ~seed:3 (Netlist.domains nl) in
+  let edges = Edges.stream clocks ~horizon_ps:100_000 in
+  Vcd.trace_to_string sim ~edges ()
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_header () =
+  let t = trace () in
+  Alcotest.(check bool) "timescale" true (contains t "$timescale 1ps $end");
+  Alcotest.(check bool) "enddefinitions" true (contains t "$enddefinitions $end");
+  Alcotest.(check bool) "dumpvars" true (contains t "$dumpvars");
+  Alcotest.(check bool) "clock wires" true (contains t "clk_clk1");
+  Alcotest.(check bool) "net wires" true (contains t "$var wire 1")
+
+let test_timestamps_monotone () =
+  let t = trace () in
+  let last = ref (-1) in
+  String.split_on_char '\n' t
+  |> List.iter (fun line ->
+         if String.length line > 1 && line.[0] = '#' then begin
+           let stamp = int_of_string (String.sub line 1 (String.length line - 1)) in
+           Alcotest.(check bool) "monotone" true (stamp > !last);
+           last := stamp
+         end);
+  Alcotest.(check bool) "has timestamps" true (!last > 0)
+
+let test_value_changes_present () =
+  let t = trace () in
+  (* The toggling clocks must produce many value-change lines. *)
+  let changes =
+    String.split_on_char '\n' t
+    |> List.filter (fun l ->
+           String.length l >= 2 && (l.[0] = '0' || l.[0] = '1') && l.[1] <> ' ')
+  in
+  Alcotest.(check bool) "many changes" true (List.length changes > 50)
+
+let suite =
+  [
+    Alcotest.test_case "header" `Quick test_header;
+    Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+    Alcotest.test_case "value changes" `Quick test_value_changes_present;
+  ]
