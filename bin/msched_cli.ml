@@ -2,6 +2,7 @@
    Msched_netlist.Serial (extension-agnostic; see lib/netlist/serial.mli).
 
      msched compile  design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
+     msched check    design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
      msched stats    design.mnl
      msched dot      design.mnl [--partition] > design.dot
      msched simulate design.mnl [--horizon PS] [--seed N]
@@ -37,18 +38,19 @@ let options_of pins weight =
     max_block_weight = weight;
   }
 
+let route_options_of mode =
+  match mode with
+  | "virtual" -> Tiers.default_options
+  | "hard" -> Tiers.hard_options
+  | "naive" -> Tiers.naive_options
+  | other ->
+      Printf.eprintf "unknown mode %s (virtual|hard|naive)\n" other;
+      exit 1
+
 let compile_cmd path pins weight mode forward =
   let nl = read_netlist path in
   let prepared = Msched.Compile.prepare ~options:(options_of pins weight) nl in
-  let ropts =
-    match mode with
-    | "virtual" -> Tiers.default_options
-    | "hard" -> Tiers.hard_options
-    | "naive" -> Tiers.naive_options
-    | other ->
-        Printf.eprintf "unknown mode %s (virtual|hard|naive)\n" other;
-        exit 1
-  in
+  let ropts = route_options_of mode in
   let sched =
     if forward then Msched.Compile.route_forward prepared ropts
     else Msched.Compile.route prepared ropts
@@ -64,6 +66,22 @@ let compile_cmd path pins weight mode forward =
   Format.printf "channel utilization: %.1f%%, mean transport latency: %.1f@."
     (100.0 *. Schedule.channel_utilization sched prepared.Msched.Compile.system)
     (Schedule.mean_transport_latency sched)
+
+let check_cmd path pins weight mode forward =
+  let nl = read_netlist path in
+  let prepared = Msched.Compile.prepare ~options:(options_of pins weight) nl in
+  let ropts = route_options_of mode in
+  let sched =
+    if forward then Msched.Compile.route_forward prepared ropts
+    else Msched.Compile.route prepared ropts
+  in
+  let report = Msched.Compile.verify_schedule prepared sched in
+  Format.printf "%a@.%a@." Schedule.pp_summary sched
+    Msched_check.Verify.pp_report report;
+  List.iter
+    (fun w -> Format.printf "scheduler warning: %s@." w)
+    sched.Schedule.warnings;
+  if not (Msched_check.Verify.is_clean report) then exit 2
 
 let stats_cmd path =
   let nl = read_netlist path in
@@ -138,6 +156,10 @@ let cmds =
   [
     Cmd.v (Cmd.info "compile" ~doc:"Compile a netlist and print the schedule")
       Term.(const compile_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg $ forward_arg);
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Compile a netlist and statically verify the schedule")
+      Term.(const check_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg $ forward_arg);
     Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
       Term.(const stats_cmd $ path_arg);
     Cmd.v (Cmd.info "dot" ~doc:"Graphviz DOT export")

@@ -1,0 +1,596 @@
+open Msched_netlist
+module Partition = Msched_partition.Partition
+module Placement = Msched_place.Placement
+module System = Msched_arch.System
+module Domain_analysis = Msched_mts.Domain_analysis
+module Link = Msched_route.Link
+module Schedule = Msched_route.Schedule
+
+type violation =
+  | Transport_overrun of {
+      link : Link.t;
+      domain : Ids.Dom.t option;
+      dep : int;
+      arr : int;
+      length : int;
+    }
+  | Hop_misordered of {
+      link : Link.t;
+      domain : Ids.Dom.t option;
+      channel : int;
+      slot : int;
+      dep : int;
+      arr : int;
+    }
+  | Path_broken of {
+      link : Link.t;
+      domain : Ids.Dom.t option;
+      detail : string;
+    }
+  | Departure_too_early of {
+      link : Link.t;
+      domain : Ids.Dom.t option;
+      dep : int;
+      required : int;
+    }
+  | Fork_skew of { link : Link.t; deps : int list; arrs : int list }
+  | Missing_link of { net : Ids.Net.t; dst_block : Ids.Block.t }
+  | Missing_fork_transport of {
+      net : Ids.Net.t;
+      dst_block : Ids.Block.t;
+      domain : Ids.Dom.t;
+    }
+  | Channel_overbooked of {
+      channel : int;
+      slot : int;
+      used : int;
+      capacity : int;
+    }
+  | Peak_understated of { channel : int; recorded : int; actual : int }
+  | Channel_overflow of { channel : int; committed : int; width : int }
+  | Pin_budget_exceeded of { fpga : Ids.Fpga.t; used : int; budget : int }
+  | Hard_not_dedicated of {
+      channel : int;
+      hard_transports : int;
+      dedicated : int;
+    }
+  | Missing_holdoff of { cell : Ids.Cell.t }
+  | Holdoff_misordered of { cell : Ids.Cell.t; gate : int; data : int }
+  | Holdoff_out_of_frame of {
+      cell : Ids.Cell.t;
+      gate : int;
+      data : int;
+      length : int;
+    }
+  | Gate_after_data of {
+      cell : Ids.Cell.t;
+      data_holdoff : int;
+      required : int;
+    }
+
+let kind_name = function
+  | Transport_overrun _ -> "transport-overrun"
+  | Hop_misordered _ -> "hop-misordered"
+  | Path_broken _ -> "path-broken"
+  | Departure_too_early _ -> "departure-too-early"
+  | Fork_skew _ -> "fork-skew"
+  | Missing_link _ -> "missing-link"
+  | Missing_fork_transport _ -> "missing-fork-transport"
+  | Channel_overbooked _ -> "channel-overbooked"
+  | Peak_understated _ -> "peak-understated"
+  | Channel_overflow _ -> "channel-overflow"
+  | Pin_budget_exceeded _ -> "pin-budget"
+  | Hard_not_dedicated _ -> "hard-not-dedicated"
+  | Missing_holdoff _ -> "missing-holdoff"
+  | Holdoff_misordered _ -> "holdoff-misordered"
+  | Holdoff_out_of_frame _ -> "holdoff-out-of-frame"
+  | Gate_after_data _ -> "gate-after-data"
+
+let pp_domain ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some d -> Ids.Dom.pp ppf d
+
+let pp_violation ppf = function
+  | Transport_overrun { link; domain; dep; arr; length } ->
+      Format.fprintf ppf
+        "transport-overrun: %a dom=%a dep=%d arr=%d outside frame [0,%d]"
+        Link.pp link pp_domain domain dep arr length
+  | Hop_misordered { link; domain; channel; slot; dep; arr } ->
+      Format.fprintf ppf
+        "hop-misordered: %a dom=%a hop (ch%d, slot %d) not strictly \
+         increasing within [%d,%d]"
+        Link.pp link pp_domain domain channel slot dep arr
+  | Path_broken { link; domain; detail } ->
+      Format.fprintf ppf "path-broken: %a dom=%a %s" Link.pp link pp_domain
+        domain detail
+  | Departure_too_early { link; domain; dep; required } ->
+      Format.fprintf ppf
+        "departure-too-early: %a dom=%a departs at %d but source settles at \
+         %d"
+        Link.pp link pp_domain domain dep required
+  | Fork_skew { link; deps; arrs } ->
+      Format.fprintf ppf "fork-skew: %a deps={%a} arrs={%a} not equalized"
+        Link.pp link
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_int)
+        deps
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_int)
+        arrs
+  | Missing_link { net; dst_block } ->
+      Format.fprintf ppf "missing-link: crossing %a never delivered to %a"
+        Ids.Net.pp net Ids.Block.pp dst_block
+  | Missing_fork_transport { net; dst_block; domain } ->
+      Format.fprintf ppf
+        "missing-fork-transport: %a to %a lacks constituent domain %a"
+        Ids.Net.pp net Ids.Block.pp dst_block Ids.Dom.pp domain
+  | Channel_overbooked { channel; slot; used; capacity } ->
+      Format.fprintf ppf
+        "channel-overbooked: ch%d slot %d carries %d transports, capacity %d"
+        channel slot used capacity
+  | Peak_understated { channel; recorded; actual } ->
+      Format.fprintf ppf
+        "peak-understated: ch%d records peak %d but hops use %d" channel
+        recorded actual
+  | Channel_overflow { channel; committed; width } ->
+      Format.fprintf ppf
+        "channel-overflow: ch%d commits %d wires, physical width %d" channel
+        committed width
+  | Pin_budget_exceeded { fpga; used; budget } ->
+      Format.fprintf ppf "pin-budget: %a uses %d pins, budget %d" Ids.Fpga.pp
+        fpga used budget
+  | Hard_not_dedicated { channel; hard_transports; dedicated } ->
+      Format.fprintf ppf
+        "hard-not-dedicated: ch%d carries %d hard transports on %d dedicated \
+         wires"
+        channel hard_transports dedicated
+  | Missing_holdoff { cell } ->
+      Format.fprintf ppf "missing-holdoff: %a has no data hold-off record"
+        Ids.Cell.pp cell
+  | Holdoff_misordered { cell; gate; data } ->
+      Format.fprintf ppf
+        "holdoff-misordered: %a data slot %d not strictly after gate slot %d"
+        Ids.Cell.pp cell data gate
+  | Holdoff_out_of_frame { cell; gate; data; length } ->
+      Format.fprintf ppf
+        "holdoff-out-of-frame: %a (gate=%d, data=%d) outside frame [0,%d]"
+        Ids.Cell.pp cell gate data length
+  | Gate_after_data { cell; data_holdoff; required } ->
+      Format.fprintf ppf
+        "gate-after-data: %a releases data at %d but gate information \
+         settles at %d"
+        Ids.Cell.pp cell data_holdoff (required - 1)
+
+type report = {
+  violations : violation list;
+  length : int;
+  links_checked : int;
+  transports_checked : int;
+  holdoffs_checked : int;
+  blocks_checked : int;
+}
+
+let is_clean r = r.violations = []
+
+let count_kind r tag =
+  List.length (List.filter (fun v -> String.equal (kind_name v) tag) r.violations)
+
+let hold_safety_cells r =
+  List.fold_left
+    (fun acc v ->
+      match v with
+      | Missing_holdoff { cell }
+      | Holdoff_misordered { cell; _ }
+      | Holdoff_out_of_frame { cell; _ }
+      | Gate_after_data { cell; _ } ->
+          Ids.Cell.Set.add cell acc
+      | Transport_overrun _ | Hop_misordered _ | Path_broken _
+      | Departure_too_early _ | Fork_skew _ | Missing_link _
+      | Missing_fork_transport _ | Channel_overbooked _ | Peak_understated _
+      | Channel_overflow _ | Pin_budget_exceeded _ | Hard_not_dedicated _ ->
+          acc)
+    Ids.Cell.Set.empty r.violations
+
+let pp_report ppf r =
+  if is_clean r then
+    Format.fprintf ppf
+      "verify: clean (%d links, %d transports, %d holdoffs, %d blocks, frame \
+       %d)"
+      r.links_checked r.transports_checked r.holdoffs_checked r.blocks_checked
+      r.length
+  else begin
+    Format.fprintf ppf "verify: %d violation(s):"
+      (List.length r.violations);
+    List.iter
+      (fun v -> Format.fprintf ppf "@\n  %a" pp_violation v)
+      r.violations
+  end
+
+(* ---- Independent local-settle recomputation ----------------------------
+
+   Max combinational delay from frame-start origins (primary inputs, clock
+   sources, dom-clocked flip-flop outputs, RAM read outputs) local to a
+   block.  Re-derived here from the netlist graph alone so the verifier
+   does not trust the scheduler's Latch_analysis tables. *)
+let local_settle_table nl region cells =
+  let table = Ids.Net.Tbl.create 64 in
+  List.iter
+    (fun cid ->
+      let c = Netlist.cell nl cid in
+      match c.Cell.kind, c.Cell.trigger with
+      | Cell.Flip_flop, Some (Cell.Net_trigger _) ->
+          (* Net-triggered flip-flops evaluate mid-frame, not at frame
+             start. *)
+          ()
+      | (Cell.Flip_flop | Cell.Ram _ | Cell.Input _ | Cell.Clock_source _), _
+        -> (
+          match c.Cell.output with
+          | Some out -> Ids.Net.Tbl.replace table out 0
+          | None -> ())
+      | (Cell.Latch _ | Cell.Gate _ | Cell.Output), _ -> ())
+    cells;
+  List.iter
+    (fun cid ->
+      let c = Netlist.cell nl cid in
+      let ins = Levelize.comb_inputs nl c in
+      let reach = List.filter_map (fun n -> Ids.Net.Tbl.find_opt table n) ins in
+      match reach, c.Cell.output with
+      | [], _ | _, None -> ()
+      | first :: rest, Some out ->
+          Ids.Net.Tbl.replace table out (List.fold_left max first rest + 1))
+    (Traverse.topo region);
+  table
+
+let verify placement analysis (sched : Schedule.t) =
+  let part = Placement.partition placement in
+  let nl = Partition.netlist part in
+  let sys = Placement.system placement in
+  let channels = System.channels sys in
+  let nch = Array.length channels in
+  let length = sched.Schedule.length in
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  let dedicated c =
+    if c >= 0 && c < Array.length sched.Schedule.dedicated_per_channel then
+      sched.Schedule.dedicated_per_channel.(c)
+    else 0
+  in
+  let recorded_peak c =
+    if c >= 0 && c < Array.length sched.Schedule.peak_channel_usage then
+      sched.Schedule.peak_channel_usage.(c)
+    else 0
+  in
+
+  (* ---- Per-transport structural checks + occupancy/arrival tallies. ---- *)
+  let occupancy : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let hard_cnt = Array.make (max 1 nch) 0 in
+  let arrival_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let transports_checked = ref 0 in
+  List.iter
+    (fun (ls : Schedule.link_sched) ->
+      let link = ls.Schedule.ls_link in
+      let key =
+        ( Ids.Block.to_int link.Link.dst_block,
+          Ids.Net.to_int link.Link.net )
+      in
+      List.iter
+        (fun (tr : Schedule.transport) ->
+          incr transports_checked;
+          let dep = tr.Schedule.tr_fwd_dep and arr = tr.Schedule.tr_fwd_arr in
+          let cur = Option.value ~default:0 (Hashtbl.find_opt arrival_tbl key) in
+          if arr > cur then Hashtbl.replace arrival_tbl key arr;
+          if dep < 0 || arr < dep || arr > length then
+            push
+              (Transport_overrun
+                 { link; domain = tr.Schedule.tr_domain; dep; arr; length });
+          (* Channel path connectivity (hard and virtual alike). *)
+          let rec walk at = function
+            | [] ->
+                if not (Ids.Fpga.equal at link.Link.dst_fpga) then
+                  push
+                    (Path_broken
+                       {
+                         link;
+                         domain = tr.Schedule.tr_domain;
+                         detail =
+                           Format.asprintf
+                             "path ends at %a, destination is %a" Ids.Fpga.pp
+                             at Ids.Fpga.pp link.Link.dst_fpga;
+                       })
+            | (c, _) :: rest ->
+                if c < 0 || c >= nch then
+                  push
+                    (Path_broken
+                       {
+                         link;
+                         domain = tr.Schedule.tr_domain;
+                         detail = Format.asprintf "unknown channel %d" c;
+                       })
+                else begin
+                  let ch = channels.(c) in
+                  if not (Ids.Fpga.equal ch.System.src at) then
+                    push
+                      (Path_broken
+                         {
+                           link;
+                           domain = tr.Schedule.tr_domain;
+                           detail =
+                             Format.asprintf
+                               "hop ch%d departs %a but value is at %a" c
+                               Ids.Fpga.pp ch.System.src Ids.Fpga.pp at;
+                         });
+                  walk ch.System.dst rest
+                end
+          in
+          walk link.Link.src_fpga tr.Schedule.tr_hops;
+          if tr.Schedule.tr_hard then
+            (* Dedicated wires carry the value whenever the source changes:
+               slots are meaningless, but every traversed channel must hold
+               a dedicated wire for this transport. *)
+            List.iter
+              (fun (c, _) ->
+                if c >= 0 && c < nch then hard_cnt.(c) <- hard_cnt.(c) + 1)
+              tr.Schedule.tr_hops
+          else begin
+            (* Slot monotonicity inside the transport window, and wire-pool
+               occupancy accounting. *)
+            let prev = ref (dep - 1) in
+            List.iter
+              (fun (c, slot) ->
+                if slot <= !prev || slot < dep || slot > arr then
+                  push
+                    (Hop_misordered
+                       {
+                         link;
+                         domain = tr.Schedule.tr_domain;
+                         channel = c;
+                         slot;
+                         dep;
+                         arr;
+                       });
+                prev := slot;
+                if c >= 0 && c < nch then begin
+                  let k = (c, slot) in
+                  let n = Option.value ~default:0 (Hashtbl.find_opt occupancy k) in
+                  Hashtbl.replace occupancy k (n + 1)
+                end)
+              tr.Schedule.tr_hops
+          end)
+        ls.Schedule.ls_transports;
+      (* FORK equalization: all virtual constituent transports of one MTS
+         crossing must share one departure and one arrival. *)
+      let virts =
+        List.filter
+          (fun tr -> not tr.Schedule.tr_hard)
+          ls.Schedule.ls_transports
+      in
+      match virts with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          let skewed =
+            List.exists
+              (fun tr ->
+                tr.Schedule.tr_fwd_dep <> first.Schedule.tr_fwd_dep
+                || tr.Schedule.tr_fwd_arr <> first.Schedule.tr_fwd_arr)
+              rest
+          in
+          if skewed then
+            push
+              (Fork_skew
+                 {
+                   link;
+                   deps = List.map (fun tr -> tr.Schedule.tr_fwd_dep) virts;
+                   arrs = List.map (fun tr -> tr.Schedule.tr_fwd_arr) virts;
+                 }))
+    sched.Schedule.link_scheds;
+
+  (* ---- Wire pools, peaks, dedication and pin budgets. ---- *)
+  let actual_peak = Array.make (max 1 nch) 0 in
+  Hashtbl.iter
+    (fun (c, slot) used ->
+      if used > actual_peak.(c) then actual_peak.(c) <- used;
+      let capacity = channels.(c).System.width - dedicated c in
+      if used > capacity then push (Channel_overbooked { channel = c; slot; used; capacity }))
+    occupancy;
+  (* Deterministic order for the slot-level violations found above. *)
+  for c = 0 to nch - 1 do
+    if recorded_peak c < actual_peak.(c) then
+      push
+        (Peak_understated
+           { channel = c; recorded = recorded_peak c; actual = actual_peak.(c) });
+    let committed = max (recorded_peak c) actual_peak.(c) + dedicated c in
+    if committed > channels.(c).System.width then
+      push
+        (Channel_overflow
+           { channel = c; committed; width = channels.(c).System.width });
+    if hard_cnt.(c) > dedicated c then
+      push
+        (Hard_not_dedicated
+           { channel = c; hard_transports = hard_cnt.(c); dedicated = dedicated c })
+  done;
+  let pins = Array.make (System.num_fpgas sys) 0 in
+  Array.iteri
+    (fun c (ch : System.channel) ->
+      let wires = max (recorded_peak c) actual_peak.(c) + dedicated c in
+      let s = Ids.Fpga.to_int ch.System.src
+      and d = Ids.Fpga.to_int ch.System.dst in
+      pins.(s) <- pins.(s) + wires;
+      pins.(d) <- pins.(d) + wires)
+    channels;
+  Array.iteri
+    (fun f used ->
+      if used > System.pins_per_fpga sys then
+        push
+          (Pin_budget_exceeded
+             {
+               fpga = Ids.Fpga.of_int f;
+               used;
+               budget = System.pins_per_fpga sys;
+             }))
+    pins;
+
+  (* ---- Completeness: every crossing net reaches every foreign block,
+     with a transport per constituent domain for multi-transition nets. ---- *)
+  List.iter
+    (fun net ->
+      List.iter
+        (fun (dst_block, _terms) ->
+          let transports =
+            List.concat_map
+              (fun (ls : Schedule.link_sched) ->
+                if
+                  Ids.Net.equal ls.Schedule.ls_link.Link.net net
+                  && Ids.Block.equal ls.Schedule.ls_link.Link.dst_block
+                       dst_block
+                then ls.Schedule.ls_transports
+                else [])
+              sched.Schedule.link_scheds
+          in
+          if transports = [] then push (Missing_link { net; dst_block })
+          else if
+            (not (List.exists (fun tr -> tr.Schedule.tr_hard) transports))
+            && Domain_analysis.is_multi_transition analysis net
+          then
+            Ids.Dom.Set.iter
+              (fun d ->
+                let present =
+                  List.exists
+                    (fun tr ->
+                      match tr.Schedule.tr_domain with
+                      | Some d' -> Ids.Dom.equal d d'
+                      | None -> false)
+                    transports
+                in
+                if not present then
+                  push (Missing_fork_transport { net; dst_block; domain = d }))
+              (Domain_analysis.transitions analysis net))
+        (Partition.foreign_consumers part net))
+    (Partition.crossing_nets part);
+
+  (* ---- Per-block checks: hold safety (Observation 2) and departure
+     readiness (Functional Axiom 1). ---- *)
+  let holdoff_tbl = Ids.Cell.Tbl.create 64 in
+  List.iter
+    (fun (h : Schedule.holdoff) ->
+      Ids.Cell.Tbl.replace holdoff_tbl h.Schedule.ho_cell
+        (h.Schedule.ho_gate, h.Schedule.ho_data))
+    sched.Schedule.holdoffs;
+  let nblocks = Partition.num_blocks part in
+  let links_from = Array.make (max 1 nblocks) [] in
+  List.iter
+    (fun (ls : Schedule.link_sched) ->
+      let sb = Ids.Block.to_int ls.Schedule.ls_link.Link.src_block in
+      if sb >= 0 && sb < nblocks then links_from.(sb) <- ls :: links_from.(sb))
+    sched.Schedule.link_scheds;
+  let arrival b n =
+    Option.value ~default:0
+      (Hashtbl.find_opt arrival_tbl (b, Ids.Net.to_int n))
+  in
+  let shares_domain m data_net =
+    not
+      (Ids.Dom.Set.is_empty
+         (Ids.Dom.Set.inter
+            (Domain_analysis.transitions analysis m)
+            (Domain_analysis.transitions analysis data_net)))
+  in
+  for b = 0 to nblocks - 1 do
+    let block = Ids.Block.of_int b in
+    let cells = Partition.cells_of_block part block in
+    let region = Traverse.of_cells nl cells in
+    let settle_tbl = local_settle_table nl region cells in
+    let settle n =
+      Option.value ~default:0 (Ids.Net.Tbl.find_opt settle_tbl n)
+    in
+    let input_delay_tbls =
+      List.map
+        (fun m -> (m, Traverse.delays_from region m))
+        (Partition.input_nets part block)
+    in
+    (* Hold safety: latches and net-triggered flip-flops/RAMs must hold
+       data back until after the latest link-fed same-domain gate
+       arrival (delay compensation, paper Section 7 / Observation 2). *)
+    List.iter
+      (fun cid ->
+        let c = Netlist.cell nl cid in
+        let needs_holdoff =
+          match c.Cell.kind, c.Cell.trigger with
+          | Cell.Latch _, _ -> true
+          | (Cell.Flip_flop | Cell.Ram _), Some (Cell.Net_trigger _) -> true
+          | (Cell.Flip_flop | Cell.Ram _), (Some (Cell.Dom_clock _) | None) ->
+              false
+          | (Cell.Gate _ | Cell.Input _ | Cell.Clock_source _ | Cell.Output), _
+            ->
+              false
+        in
+        if needs_holdoff then begin
+          let data_net = c.Cell.data_inputs.(0) in
+          let is_ram =
+            match c.Cell.kind with Cell.Ram _ -> true | _ -> false
+          in
+          let gate_lb =
+            match c.Cell.trigger with
+            | Some (Cell.Net_trigger tn) ->
+                List.fold_left
+                  (fun acc (m, tbl) ->
+                    match Ids.Net.Tbl.find_opt tbl tn with
+                    | Some d when is_ram || shares_domain m data_net ->
+                        max acc (arrival b m + d.Traverse.dmax)
+                    | Some _ | None -> acc)
+                  0 input_delay_tbls
+            | Some (Cell.Dom_clock _) | None -> 0
+          in
+          match Ids.Cell.Tbl.find_opt holdoff_tbl cid with
+          | None -> push (Missing_holdoff { cell = cid })
+          | Some (gate, data) ->
+              if gate < 0 || data < 0 || gate > length || data > length then
+                push (Holdoff_out_of_frame { cell = cid; gate; data; length })
+              else begin
+                if data < min length (gate + 1) then
+                  push (Holdoff_misordered { cell = cid; gate; data });
+                let required = min length (gate_lb + 1) in
+                if data < required then
+                  push
+                    (Gate_after_data
+                       { cell = cid; data_holdoff = data; required })
+              end
+        end)
+      cells;
+    (* Departure readiness: a virtual transport may not sample its source
+       terminal before the net can have settled there. *)
+    List.iter
+      (fun (ls : Schedule.link_sched) ->
+        let link = ls.Schedule.ls_link in
+        let net = link.Link.net in
+        let required =
+          List.fold_left
+            (fun acc (m, tbl) ->
+              match Ids.Net.Tbl.find_opt tbl net with
+              | Some d -> max acc (arrival b m + d.Traverse.dmax)
+              | None -> acc)
+            (settle net) input_delay_tbls
+        in
+        List.iter
+          (fun (tr : Schedule.transport) ->
+            if (not tr.Schedule.tr_hard) && tr.Schedule.tr_fwd_dep < required
+            then
+              push
+                (Departure_too_early
+                   {
+                     link;
+                     domain = tr.Schedule.tr_domain;
+                     dep = tr.Schedule.tr_fwd_dep;
+                     required;
+                   }))
+          ls.Schedule.ls_transports)
+      links_from.(b)
+  done;
+  {
+    violations = List.rev !violations;
+    length;
+    links_checked = List.length sched.Schedule.link_scheds;
+    transports_checked = !transports_checked;
+    holdoffs_checked = List.length sched.Schedule.holdoffs;
+    blocks_checked = nblocks;
+  }

@@ -18,6 +18,7 @@ type options = {
   place_seed : int;
   place_effort : int;
   route : Tiers.options;
+  verify : bool;
 }
 
 let default_options =
@@ -30,6 +31,7 @@ let default_options =
     place_seed = 7;
     place_effort = 4;
     route = Tiers.default_options;
+    verify = true;
   }
 
 type prepared = {
@@ -96,6 +98,18 @@ let route_forward prepared route_options =
   Msched_route.Forward.schedule prepared.placement prepared.analysis
     ~analysis:prepared.latch_analysis ~options:route_options ()
 
+let verify_schedule prepared sched =
+  Msched_check.Verify.verify prepared.placement prepared.analysis sched
+
 let compile ?(options = default_options) nl =
   let prepared = prepare ~options nl in
-  { prepared; schedule = route prepared options.route }
+  let schedule = route prepared options.route in
+  if options.verify then begin
+    let report = verify_schedule prepared schedule in
+    if not (Msched_check.Verify.is_clean report) then
+      raise
+        (Compile_error
+           (Format.asprintf "schedule fails static verification:@\n%a"
+              Msched_check.Verify.pp_report report))
+  end;
+  { prepared; schedule }

@@ -18,10 +18,14 @@ type options = {
   place_seed : int;
   place_effort : int;
   route : Msched_route.Tiers.options;
+  verify : bool;
+      (** Run the independent static verifier ({!Msched_check.Verify}) on
+          the compiled schedule and raise {!Compile_error} on violations. *)
 }
 
 val default_options : options
-(** 240 pins (XC4062XL), mesh, 34 MHz virtual clock, virtual MTS routing. *)
+(** 240 pins (XC4062XL), mesh, 34 MHz virtual clock, virtual MTS routing,
+    verification on. *)
 
 type prepared = {
   original : Netlist.t;
@@ -53,5 +57,11 @@ val route_forward :
   prepared -> Msched_route.Tiers.options -> Msched_route.Schedule.t
 (** Forward list scheduling (see {!Msched_route.Forward}). *)
 
+val verify_schedule : prepared -> Msched_route.Schedule.t -> Msched_check.Verify.report
+(** Run the static verifier against a schedule routed from [prepared]. *)
+
 val compile : ?options:options -> Netlist.t -> compiled
-(** [prepare] followed by [route] with [options.route]. *)
+(** [prepare] followed by [route] with [options.route]; when
+    [options.verify] is set the schedule is then checked by
+    {!Msched_check.Verify} and a violation raises {!Compile_error} with the
+    pretty-printed report. *)

@@ -1,8 +1,10 @@
 open Msched_netlist
 module Tiers = Msched_route.Tiers
+module Schedule = Msched_route.Schedule
 module Async_gen = Msched_clocking.Async_gen
 module Fidelity = Msched_sim.Fidelity
 module Design_gen = Msched_gen.Design_gen
+module Verify = Msched_check.Verify
 
 let compile ?(weight = 24) (d : Design_gen.design) =
   let copts =
@@ -68,6 +70,43 @@ let test_naive_breaks_mts_designs () =
     [ 301; 302; 303 ];
   Alcotest.(check bool) "naive corrupts MTS designs" true (!broken >= 1)
 
+let test_verifier_emulator_hold_agreement () =
+  (* The static verifier and the emulator must agree on hold hazards: zero
+     on the TIERS schedule, and both non-zero once its hold-offs are
+     stripped — with the verifier naming exactly the cells whose hold-off
+     records were dropped. *)
+  let d =
+    Design_gen.random_multidomain ~seed:72 ~domains:3 ~modules:30
+      ~mts_fraction:0.3 ()
+  in
+  let prepared = compile ~weight:32 d in
+  let sched = Msched.Compile.route prepared Tiers.default_options in
+  Alcotest.(check bool) "design has hold-offs" true (sched.Schedule.holdoffs <> []);
+  let static_cells s =
+    Ids.Cell.Set.cardinal
+      (Verify.hold_safety_cells (Msched.Compile.verify_schedule prepared s))
+  in
+  let dynamic_hazards s =
+    let clocks =
+      Async_gen.clocks ~seed:72 (Netlist.domains prepared.Msched.Compile.netlist)
+    in
+    let r =
+      Fidelity.compare_run prepared.Msched.Compile.placement s ~clocks
+        ~horizon_ps:250_000 ~seed:72 ()
+    in
+    r.Fidelity.violations.Msched_sim.Emu_sim.hold_hazards
+  in
+  Alcotest.(check int) "clean schedule: verifier flags no cells" 0
+    (static_cells sched);
+  Alcotest.(check int) "clean schedule: emulator sees no hazards" 0
+    (dynamic_hazards sched);
+  let broken = { sched with Schedule.holdoffs = [] } in
+  Alcotest.(check int) "verifier flags every stripped hold-off cell"
+    (List.length sched.Schedule.holdoffs)
+    (static_cells broken);
+  Alcotest.(check bool) "emulator also sees hazards" true
+    (dynamic_hazards broken > 0)
+
 let test_report_counts () =
   let prepared = compile ~weight:4 (Design_gen.fig1 ()) in
   let r = run prepared Tiers.default_options ~seed:1 ~horizon:100_000 in
@@ -110,6 +149,8 @@ let suite =
     Alcotest.test_case "memory design perfect" `Slow test_memory_design_virtual_perfect;
     Alcotest.test_case "naive breaks MTS designs" `Slow test_naive_breaks_mts_designs;
     Alcotest.test_case "report counts" `Quick test_report_counts;
+    Alcotest.test_case "verifier/emulator hold agreement" `Slow
+      test_verifier_emulator_hold_agreement;
     QCheck_alcotest.to_alcotest prop_virtual_always_faithful;
     QCheck_alcotest.to_alcotest prop_extensions_faithful;
   ]

@@ -1,7 +1,13 @@
-(* Failure injection: corrupt a known-good schedule and check the fidelity
-   harness actually notices.  This guards against a vacuous detector — if a
-   broken schedule still "passes", the zero-mismatch results elsewhere would
-   mean nothing. *)
+(* Failure injection: corrupt a known-good schedule and check the detectors
+   actually notice.  This guards against vacuous oracles — if a broken
+   schedule still "passes", the zero-mismatch results elsewhere would mean
+   nothing.  Two detectors are exercised on each corruption: the dynamic
+   fidelity harness (lock-step differential simulation) and the static
+   verifier (Msched_check.Verify), which must name the specific violation
+   kind.  Some corruptions are dynamically invisible by construction
+   (dropping a redundant equalized fork transport, double-booking a wire the
+   emulator does not model) — those demonstrate that the static verifier is
+   strictly stronger than the finite-stimulus harness. *)
 
 module Tiers = Msched_route.Tiers
 module Schedule = Msched_route.Schedule
@@ -9,6 +15,8 @@ module Netlist = Msched_netlist.Netlist
 module Async_gen = Msched_clocking.Async_gen
 module Fidelity = Msched_sim.Fidelity
 module Design_gen = Msched_gen.Design_gen
+module Verify = Msched_check.Verify
+module System = Msched_arch.System
 
 let prepared_and_sched seed =
   let d =
@@ -27,18 +35,33 @@ let fidelity prepared sched ~seed =
   Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
     ~horizon_ps:250_000 ~seed ()
 
+let verify prepared sched = Msched.Compile.verify_schedule prepared sched
+
+let check_kind_flagged name prepared broken kind =
+  let r = verify prepared broken in
+  Alcotest.(check bool)
+    (Format.asprintf "%s flags %s: %a" name kind Verify.pp_report r)
+    true
+    (Verify.count_kind r kind >= 1)
+
 let test_baseline_perfect () =
   let prepared, sched = prepared_and_sched 71 in
   Alcotest.(check bool) "baseline perfect" true
-    (Fidelity.perfect (fidelity prepared sched ~seed:71))
+    (Fidelity.perfect (fidelity prepared sched ~seed:71));
+  let r = verify prepared sched in
+  Alcotest.(check bool)
+    (Format.asprintf "baseline verifier-clean: %a" Verify.pp_report r)
+    true (Verify.is_clean r)
 
 let test_dropped_holdoffs_detected () =
   let prepared, sched = prepared_and_sched 71 in
+  Alcotest.(check bool) "design has hold-offs" true (sched.Schedule.holdoffs <> []);
   let broken = { sched with Schedule.holdoffs = [] } in
   let r = fidelity prepared broken ~seed:71 in
   Alcotest.(check bool)
     (Format.asprintf "dropping hold-offs detected: %a" Fidelity.pp_report r)
-    false (Fidelity.perfect r)
+    false (Fidelity.perfect r);
+  check_kind_flagged "dropped hold-offs" prepared broken "missing-holdoff"
 
 let test_stale_departure_detected () =
   (* Sample every transport one slot after its scheduled departure: sources
@@ -67,7 +90,8 @@ let test_stale_departure_detected () =
   let r = fidelity prepared broken ~seed:72 in
   Alcotest.(check bool)
     (Format.asprintf "early sampling detected: %a" Fidelity.pp_report r)
-    false (Fidelity.perfect r)
+    false (Fidelity.perfect r);
+  check_kind_flagged "early sampling" prepared broken "departure-too-early"
 
 let test_truncated_frame_detected () =
   (* Halving the frame makes in-flight values late. *)
@@ -77,7 +101,8 @@ let test_truncated_frame_detected () =
   Alcotest.(check bool)
     (Format.asprintf "short frame detected: %a" Fidelity.pp_report r)
     true
-    ((not (Fidelity.perfect r)) || r.Fidelity.violations.Msched_sim.Emu_sim.late_events > 0)
+    ((not (Fidelity.perfect r)) || r.Fidelity.violations.Msched_sim.Emu_sim.late_events > 0);
+  check_kind_flagged "short frame" prepared broken "transport-overrun"
 
 let test_dropped_transport_detected () =
   (* Remove all transports of one multi-fanout link: its destination never
@@ -102,7 +127,117 @@ let test_dropped_transport_detected () =
   let r = fidelity prepared broken ~seed:74 in
   Alcotest.(check bool)
     (Format.asprintf "dropped transport detected: %a" Fidelity.pp_report r)
-    false (Fidelity.perfect r)
+    false (Fidelity.perfect r);
+  check_kind_flagged "dropped link" prepared broken "missing-link"
+
+(* ---- Corruption matrix: four targeted schedule mutations, each named by
+   the static verifier with its specific violation kind. ---- *)
+
+(* Replace the transports of the first link satisfying [pred] using [f]. *)
+let mutate_first_link sched ~pred ~f =
+  let hit = ref false in
+  let link_scheds =
+    List.map
+      (fun (ls : Schedule.link_sched) ->
+        if (not !hit) && pred ls then begin
+          hit := true;
+          { ls with Schedule.ls_transports = f ls.Schedule.ls_transports }
+        end
+        else ls)
+      sched.Schedule.link_scheds
+  in
+  Alcotest.(check bool) "a link was mutated" true !hit;
+  { sched with Schedule.link_scheds }
+
+let is_fork (ls : Schedule.link_sched) =
+  List.length
+    (List.filter (fun tr -> not tr.Schedule.tr_hard) ls.Schedule.ls_transports)
+  >= 2
+
+let test_matrix_skewed_arrival () =
+  (* Skew one constituent-domain transport's arrival: the FORK is no longer
+     delay-equalized, so the MERGE could reassemble values sampled at
+     different instants (paper Figure 2). *)
+  let prepared, sched = prepared_and_sched 76 in
+  let broken =
+    mutate_first_link sched ~pred:is_fork ~f:(fun transports ->
+        match transports with
+        | first :: rest ->
+            {
+              first with
+              Schedule.tr_fwd_arr =
+                (if first.Schedule.tr_fwd_arr < sched.Schedule.length then
+                   first.Schedule.tr_fwd_arr + 1
+                 else first.Schedule.tr_fwd_arr - 1);
+            }
+            :: rest
+        | [] -> [])
+  in
+  check_kind_flagged "skewed arrival" prepared broken "fork-skew"
+
+let test_matrix_swapped_holdoff () =
+  (* Swap a hold-off's gate/data slots: data is released while the gate is
+     still being held back — exactly the Figure 4a clobbering order. *)
+  let prepared, sched = prepared_and_sched 76 in
+  Alcotest.(check bool) "design has hold-offs" true (sched.Schedule.holdoffs <> []);
+  let broken =
+    {
+      sched with
+      Schedule.holdoffs =
+        (match sched.Schedule.holdoffs with
+        | h :: rest ->
+            { h with Schedule.ho_gate = h.Schedule.ho_data; ho_data = h.Schedule.ho_gate }
+            :: rest
+        | [] -> []);
+    }
+  in
+  check_kind_flagged "swapped hold-off" prepared broken "holdoff-misordered"
+
+let test_matrix_dropped_fork_transport () =
+  (* Drop one constituent-domain transport of a FORK.  Because TIERS
+     equalizes fork transports, the survivors deliver identical samples at
+     identical slots — the corruption is invisible to the finite-stimulus
+     harness, and only the static completeness check catches it. *)
+  let prepared, sched = prepared_and_sched 76 in
+  let broken =
+    mutate_first_link sched ~pred:is_fork ~f:(function
+      | _ :: rest -> rest
+      | [] -> [])
+  in
+  check_kind_flagged "dropped fork transport" prepared broken
+    "missing-fork-transport";
+  let r = fidelity prepared broken ~seed:76 in
+  Alcotest.(check bool)
+    (Format.asprintf
+       "dropped fork transport is dynamically invisible (verifier is \
+        strictly stronger): %a"
+       Fidelity.pp_report r)
+    true (Fidelity.perfect r)
+
+let test_matrix_double_booked_slot () =
+  (* Duplicate one multiplexed transport enough times to exceed its first
+     hop channel's wire pool: more values in flight on one (channel, slot)
+     than physical wires.  The emulator has no wire-contention model, so
+     only the static occupancy check can see this. *)
+  let prepared, sched = prepared_and_sched 76 in
+  let channels = System.channels prepared.Msched.Compile.system in
+  let broken =
+    mutate_first_link sched
+      ~pred:(fun ls ->
+        List.exists
+          (fun tr -> (not tr.Schedule.tr_hard) && tr.Schedule.tr_hops <> [])
+          ls.Schedule.ls_transports)
+      ~f:(fun transports ->
+        let tr =
+          List.find
+            (fun tr -> (not tr.Schedule.tr_hard) && tr.Schedule.tr_hops <> [])
+            transports
+        in
+        let c, _ = List.hd tr.Schedule.tr_hops in
+        let width = channels.(c).System.width in
+        List.init width (fun _ -> tr) @ transports)
+  in
+  check_kind_flagged "double-booked slot" prepared broken "channel-overbooked"
 
 let test_emulator_deterministic () =
   let prepared, sched = prepared_and_sched 75 in
@@ -119,5 +254,11 @@ let suite =
     Alcotest.test_case "stale departure detected" `Quick test_stale_departure_detected;
     Alcotest.test_case "truncated frame detected" `Quick test_truncated_frame_detected;
     Alcotest.test_case "dropped transport detected" `Quick test_dropped_transport_detected;
+    Alcotest.test_case "matrix: skewed arrival" `Quick test_matrix_skewed_arrival;
+    Alcotest.test_case "matrix: swapped holdoff" `Quick test_matrix_swapped_holdoff;
+    Alcotest.test_case "matrix: dropped fork transport" `Quick
+      test_matrix_dropped_fork_transport;
+    Alcotest.test_case "matrix: double-booked slot" `Quick
+      test_matrix_double_booked_slot;
     Alcotest.test_case "emulator deterministic" `Quick test_emulator_deterministic;
   ]

@@ -1,0 +1,189 @@
+(* The static schedule verifier (Msched_check.Verify) as a fuzzing oracle.
+
+   Three layers of evidence that the verifier is the right third leg next to
+   the by-construction schedulers and the dynamic fidelity harness:
+
+   - a seeded fuzz loop: every TIERS schedule for >= 100 random multi-domain
+     designs, in both virtual and hard MTS modes, is verifier-clean;
+   - a cross-check: on a subsample, verifier-clean schedules are also
+     fidelity-perfect under lock-step differential simulation;
+   - qcheck properties: TIERS (and the forward scheduler) always emit clean
+     schedules, while naive mode on a design with stateful MTS logic is
+     flagged statically (or at least warned about by the scheduler). *)
+
+module Tiers = Msched_route.Tiers
+module Schedule = Msched_route.Schedule
+module Netlist = Msched_netlist.Netlist
+module Async_gen = Msched_clocking.Async_gen
+module Fidelity = Msched_sim.Fidelity
+module Design_gen = Msched_gen.Design_gen
+module Verify = Msched_check.Verify
+
+let design_of_seed seed =
+  (* Vary every generator knob with the seed so the fuzz corpus covers
+     2..4 domains, different sizes and MTS densities, plus the MTS
+     flip-flop and cross-written RAM extensions. *)
+  Design_gen.random_multidomain ~seed
+    ~domains:(2 + (seed mod 3))
+    ~modules:(12 + (seed mod 4 * 6))
+    ~mts_fraction:(0.15 +. (0.1 *. float_of_int (seed mod 3)))
+    ~mts_ffs:(seed mod 2)
+    ~xwrite_rams:(if seed mod 5 = 0 then 1 else 0)
+    ()
+
+let prepare_seed seed =
+  let d = design_of_seed seed in
+  let copts =
+    {
+      Msched.Compile.default_options with
+      Msched.Compile.max_block_weight = 24 + (seed mod 3 * 8);
+    }
+  in
+  Msched.Compile.prepare ~options:copts d.Design_gen.netlist
+
+let verify prepared sched = Msched.Compile.verify_schedule prepared sched
+
+let fuzz_seeds = List.init 100 (fun i -> 9000 + i)
+
+let test_fuzz_tiers_clean () =
+  (* The acceptance bar: >= 100 random designs, each scheduled in both
+     virtual and hard MTS modes, all verifier-clean. *)
+  let schedules = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let prepared = prepare_seed seed in
+      List.iter
+        (fun (mode, ropts) ->
+          let sched = Msched.Compile.route prepared ropts in
+          incr schedules;
+          let r = verify prepared sched in
+          if not (Verify.is_clean r) then
+            failures :=
+              Format.asprintf "seed %d %s: %a" seed mode Verify.pp_report r
+              :: !failures)
+        [ ("virtual", Tiers.default_options); ("hard", Tiers.hard_options) ])
+    fuzz_seeds;
+  Alcotest.(check (list string)) "all TIERS schedules verifier-clean" []
+    (List.rev !failures);
+  Alcotest.(check bool) "fuzz budget met" true (!schedules >= 200)
+
+let test_fuzz_forward_clean () =
+  (* The forward list scheduler is an independent construction — the
+     verifier must accept its schedules too (virtual mode only; forward
+     does not support hard routing). *)
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let prepared = prepare_seed seed in
+      let sched = Msched.Compile.route_forward prepared Tiers.default_options in
+      let r = verify prepared sched in
+      if not (Verify.is_clean r) then
+        failures :=
+          Format.asprintf "seed %d forward: %a" seed Verify.pp_report r
+          :: !failures)
+    (List.init 20 (fun i -> 9000 + (5 * i)));
+  Alcotest.(check (list string)) "forward schedules verifier-clean" []
+    (List.rev !failures)
+
+let test_clean_implies_fidelity () =
+  (* Cross-check the static verdict against the dynamic oracle: on a
+     subsample of the fuzz corpus, every verifier-clean schedule is also
+     fidelity-perfect in lock-step differential simulation. *)
+  List.iter
+    (fun seed ->
+      let prepared = prepare_seed seed in
+      let sched = Msched.Compile.route prepared Tiers.default_options in
+      let r = verify prepared sched in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d verifier-clean" seed)
+        true (Verify.is_clean r);
+      let clocks =
+        Async_gen.clocks ~seed
+          (Netlist.domains prepared.Msched.Compile.netlist)
+      in
+      let f =
+        Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+          ~horizon_ps:120_000 ~seed ()
+      in
+      Alcotest.(check bool)
+        (Format.asprintf "seed %d fidelity-perfect: %a" seed
+           Fidelity.pp_report f)
+        true (Fidelity.perfect f))
+    (List.init 8 (fun i -> 9001 + (13 * i)))
+
+let prop_tiers_always_clean =
+  QCheck.Test.make ~name:"TIERS schedules are always verifier-clean"
+    ~count:12
+    QCheck.(int_range 2000 5999)
+    (fun seed ->
+      let prepared = prepare_seed seed in
+      List.for_all
+        (fun ropts ->
+          Verify.is_clean (verify prepared (Msched.Compile.route prepared ropts)))
+        [ Tiers.default_options; Tiers.hard_options ])
+
+let prop_naive_flagged_or_warned =
+  (* Paper Section 3: naive scheduling of a design with stateful MTS logic
+     is unsafe.  Statically that surfaces as a verifier violation (naive
+     mode emits no hold-offs, and may also skew forks) or, at minimum, a
+     scheduler warning.  Designs whose TIERS schedule needs no hold-offs
+     (no latches or net-triggered state) are exempt: a pure-FF design such
+     as a handshake synchronizer legitimately survives naive routing. *)
+  QCheck.Test.make
+    ~name:"naive mode on stateful MTS designs is flagged statically"
+    ~count:12
+    QCheck.(int_range 6000 8999)
+    (fun seed ->
+      let prepared = prepare_seed seed in
+      let tiers = Msched.Compile.route prepared Tiers.default_options in
+      QCheck.assume (tiers.Schedule.holdoffs <> []);
+      let naive = Msched.Compile.route prepared Tiers.naive_options in
+      let r = verify prepared naive in
+      (not (Verify.is_clean r)) || naive.Schedule.warnings <> [])
+
+let test_report_shape () =
+  let prepared = prepare_seed 9001 in
+  let sched = Msched.Compile.route prepared Tiers.default_options in
+  let r = verify prepared sched in
+  Alcotest.(check bool) "links counted" true
+    (r.Verify.links_checked = List.length sched.Schedule.link_scheds);
+  Alcotest.(check int) "frame length recorded" sched.Schedule.length
+    r.Verify.length;
+  Alcotest.(check int) "no hold-safety cells on clean schedule" 0
+    (Msched_netlist.Ids.Cell.Set.cardinal (Verify.hold_safety_cells r));
+  Alcotest.(check int) "count_kind on clean schedule" 0
+    (Verify.count_kind r "fork-skew")
+
+let test_compile_verifies_by_default () =
+  (* Compile.compile with default options runs the verifier; a clean design
+     must pass, and the options record must default to verify = true. *)
+  Alcotest.(check bool) "default verify on" true
+    Msched.Compile.default_options.Msched.Compile.verify;
+  let d = design_of_seed 9002 in
+  let compiled =
+    Msched.Compile.compile
+      ~options:
+        {
+          Msched.Compile.default_options with
+          Msched.Compile.max_block_weight = 32;
+        }
+      d.Design_gen.netlist
+  in
+  Alcotest.(check bool) "compile produced a schedule" true
+    (compiled.Msched.Compile.schedule.Schedule.length > 0)
+
+let suite =
+  [
+    Alcotest.test_case "fuzz: 100 designs x {virtual,hard} clean" `Slow
+      test_fuzz_tiers_clean;
+    Alcotest.test_case "fuzz: forward scheduler clean" `Slow
+      test_fuzz_forward_clean;
+    Alcotest.test_case "clean implies fidelity-perfect" `Slow
+      test_clean_implies_fidelity;
+    Alcotest.test_case "report shape" `Quick test_report_shape;
+    Alcotest.test_case "compile verifies by default" `Quick
+      test_compile_verifies_by_default;
+    QCheck_alcotest.to_alcotest prop_tiers_always_clean;
+    QCheck_alcotest.to_alcotest prop_naive_flagged_or_warned;
+  ]
