@@ -122,7 +122,34 @@ let benchmark () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Analyze.merge ols instances [ results ]
 
+(* One instrumented pipeline run per design (prepare, virtual + hard route,
+   verify), exported as BENCH_pipeline.json so phase wall-times and counters
+   are diffable across commits alongside the bechamel numbers. *)
+let pipeline_doc design =
+  let obs = Msched_obs.Sink.create () in
+  let prepared =
+    Msched.Compile.prepare
+      ~options:{ options with Msched.Compile.obs }
+      (Lazy.force design).Design_gen.netlist
+  in
+  let virt = Msched.Compile.route ~obs prepared Tiers.default_options in
+  ignore (Msched.Compile.route ~obs prepared Tiers.hard_options);
+  ignore (Msched.Compile.verify_schedule ~obs prepared virt);
+  Msched_obs.Export.json_string obs
+
+let write_pipeline_json path =
+  let doc =
+    Printf.sprintf
+      "{\"schema\":\"msched-bench-pipeline-1\",\"designs\":{\"design1\":%s,\"design2\":%s}}\n"
+      (pipeline_doc design1) (pipeline_doc design2)
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" path
+
 let () =
+  write_pipeline_json "BENCH_pipeline.json";
   let results = benchmark () in
   let window =
     match Notty_unix.winsize Unix.stdout with

@@ -29,13 +29,18 @@ let design_of_name name scale seed =
   | "handshake" -> Design_gen.handshake ()
   | other -> failwith (Printf.sprintf "unknown design %S" other)
 
-let table1 scale pins weight =
+let table1 scale pins weight trace json =
   setup_logs ();
+  let obs =
+    if trace = None && json = None then Msched_obs.Sink.null
+    else Msched_obs.Sink.create ()
+  in
   let options =
     {
       Msched.Compile.default_options with
       Msched.Compile.max_block_weight = weight;
       pins_per_fpga = pins;
+      obs;
     }
   in
   let rows =
@@ -43,7 +48,19 @@ let table1 scale pins weight =
       (fun name -> Msched.Report.of_design ~options (design_of_name name scale None))
       [ "design1"; "design2" ]
   in
-  Format.printf "%a@." Msched.Report.pp_table rows
+  let ppf =
+    if trace = Some "-" || json = Some "-" then Format.err_formatter
+    else Format.std_formatter
+  in
+  Format.fprintf ppf "%a@." Msched.Report.pp_table rows;
+  Option.iter
+    (fun path ->
+      Msched_obs.Export.write_file path (Msched_obs.Export.chrome_trace_string obs))
+    trace;
+  Option.iter
+    (fun path ->
+      Msched_obs.Export.write_file path (Msched_obs.Export.json_string obs))
+    json
 
 let figure8 scale pins =
   setup_logs ();
@@ -240,6 +257,14 @@ let max_domains_arg =
   let doc = "Largest domain count to sweep." in
   Arg.(value & opt int 8 & info [ "max-domains" ] ~doc)
 
+let trace_arg =
+  let doc = "Write a Chrome trace-event JSON of the run (\"-\" = stdout)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc = "Write the observability JSON document (\"-\" = stdout)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let domains_cmd =
   Cmd.v
     (Cmd.info "domains"
@@ -249,7 +274,7 @@ let domains_cmd =
 let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (virtual vs hard MTS routing)")
-    Term.(const table1 $ scale_arg $ pins_arg $ weight_arg)
+    Term.(const table1 $ scale_arg $ pins_arg $ weight_arg $ trace_arg $ json_arg)
 
 let figure8_cmd =
   Cmd.v

@@ -6,7 +6,12 @@
      msched stats    design.mnl
      msched dot      design.mnl [--partition] > design.dot
      msched simulate design.mnl [--horizon PS] [--seed N]
-     msched gen      design1|design2|fig1|fig3|handshake [--scale F] > design.mnl *)
+     msched profile  design.mnl|design1|design2|fig1|fig3|handshake [--trace FILE]
+     msched gen      design1|design2|fig1|fig3|handshake [--scale F] > design.mnl
+
+   compile/check/simulate/profile accept --trace FILE to dump a Chrome
+   trace-event JSON of the run ("-" = stdout); diagnostics of check go to
+   stderr so the trace stream stays parseable. *)
 
 module Netlist = Msched_netlist.Netlist
 module Serial = Msched_netlist.Serial
@@ -19,6 +24,8 @@ module Partition = Msched_partition.Partition
 module Async_gen = Msched_clocking.Async_gen
 module Fidelity = Msched_sim.Fidelity
 module Design_gen = Msched_gen.Design_gen
+module Sink = Msched_obs.Sink
+module Obs_export = Msched_obs.Export
 
 let read_netlist path =
   let ic = open_in path in
@@ -31,12 +38,22 @@ let read_netlist path =
       Printf.eprintf "%s: %s\n" path msg;
       exit 1
 
-let options_of pins weight =
+let options_of ?(obs = Sink.null) pins weight =
   {
     Msched.Compile.default_options with
     Msched.Compile.pins_per_fpga = pins;
     max_block_weight = weight;
+    obs;
   }
+
+(* A [--trace FILE] argument turns the sink on; without it every probe in
+   the pipeline is a no-op. *)
+let sink_of_trace = function None -> Sink.null | Some _ -> Sink.create ()
+
+let write_trace trace obs =
+  match trace with
+  | None -> ()
+  | Some path -> Obs_export.write_file path (Obs_export.chrome_trace_string obs)
 
 let route_options_of mode =
   match mode with
@@ -47,40 +64,55 @@ let route_options_of mode =
       Printf.eprintf "unknown mode %s (virtual|hard|naive)\n" other;
       exit 1
 
-let compile_cmd path pins weight mode forward =
+let compile_cmd path pins weight mode forward trace =
   let nl = read_netlist path in
-  let prepared = Msched.Compile.prepare ~options:(options_of pins weight) nl in
+  let obs = sink_of_trace trace in
+  let prepared =
+    Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+  in
   let ropts = route_options_of mode in
   let sched =
-    if forward then Msched.Compile.route_forward prepared ropts
-    else Msched.Compile.route prepared ropts
+    if forward then Msched.Compile.route_forward ~obs prepared ropts
+    else Msched.Compile.route ~obs prepared ropts
   in
-  Format.printf "design:   %a@." Netlist.pp_summary prepared.Msched.Compile.netlist;
-  Format.printf "partition: %a@." Partition.pp_summary prepared.Msched.Compile.partition;
-  Format.printf "mts:      %a@." Msched_mts.Classify.pp_summary
+  (* With --trace -, the trace owns stdout; move the summary to stderr. *)
+  let ppf =
+    if trace = Some "-" then Format.err_formatter else Format.std_formatter
+  in
+  Format.fprintf ppf "design:   %a@." Netlist.pp_summary
+    prepared.Msched.Compile.netlist;
+  Format.fprintf ppf "partition: %a@." Partition.pp_summary
+    prepared.Msched.Compile.partition;
+  Format.fprintf ppf "mts:      %a@." Msched_mts.Classify.pp_summary
     prepared.Msched.Compile.classification;
-  Format.printf "%a@." Schedule.pp_summary sched;
-  Format.printf "pins used (worst FPGA): %d / %d@."
+  Format.fprintf ppf "%a@." Schedule.pp_summary sched;
+  Format.fprintf ppf "pins used (worst FPGA): %d / %d@."
     (Schedule.max_pins_used sched prepared.Msched.Compile.system)
     pins;
-  Format.printf "channel utilization: %.1f%%, mean transport latency: %.1f@."
+  Format.fprintf ppf "channel utilization: %.1f%%, mean transport latency: %.1f@."
     (100.0 *. Schedule.channel_utilization sched prepared.Msched.Compile.system)
-    (Schedule.mean_transport_latency sched)
+    (Schedule.mean_transport_latency sched);
+  write_trace trace obs
 
-let check_cmd path pins weight mode forward =
+let check_cmd path pins weight mode forward trace =
   let nl = read_netlist path in
-  let prepared = Msched.Compile.prepare ~options:(options_of pins weight) nl in
+  let obs = sink_of_trace trace in
+  let prepared =
+    Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+  in
   let ropts = route_options_of mode in
   let sched =
-    if forward then Msched.Compile.route_forward prepared ropts
-    else Msched.Compile.route prepared ropts
+    if forward then Msched.Compile.route_forward ~obs prepared ropts
+    else Msched.Compile.route ~obs prepared ropts
   in
-  let report = Msched.Compile.verify_schedule prepared sched in
-  Format.printf "%a@.%a@." Schedule.pp_summary sched
+  let report = Msched.Compile.verify_schedule ~obs prepared sched in
+  (* Diagnostics on stderr: stdout stays free for --trace - / JSON piping. *)
+  Format.eprintf "%a@.%a@." Schedule.pp_summary sched
     Msched_check.Verify.pp_report report;
   List.iter
-    (fun w -> Format.printf "scheduler warning: %s@." w)
+    (fun w -> Format.eprintf "scheduler warning: %s@." w)
     sched.Schedule.warnings;
+  write_trace trace obs;
   if not (Msched_check.Verify.is_clean report) then exit 2
 
 let stats_cmd path =
@@ -96,20 +128,67 @@ let dot_cmd path partition weight =
   end
   else Format.printf "%a@." (Dot.output ?cluster:None) nl
 
-let simulate_cmd path horizon seed pins weight =
+let simulate_cmd path horizon seed pins weight trace =
   let nl = read_netlist path in
-  let prepared = Msched.Compile.prepare ~options:(options_of pins weight) nl in
-  let sched = Msched.Compile.route prepared Tiers.default_options in
+  let obs = sink_of_trace trace in
+  let prepared =
+    Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+  in
+  let sched = Msched.Compile.route ~obs prepared Tiers.default_options in
   let clocks =
     Async_gen.clocks ~seed (Netlist.domains prepared.Msched.Compile.netlist)
   in
   let report =
     Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
-      ~horizon_ps:horizon ~seed ()
+      ~horizon_ps:horizon ~seed ~obs ()
   in
-  Format.printf "%a@.fidelity: %a@." Schedule.pp_summary sched
+  let ppf =
+    if trace = Some "-" then Format.err_formatter else Format.std_formatter
+  in
+  Format.fprintf ppf "%a@.fidelity: %a@." Schedule.pp_summary sched
     Fidelity.pp_report report;
+  write_trace trace obs;
   if not (Fidelity.perfect report) then exit 2
+
+(* [profile] accepts either a netlist file or a built-in generator name, so
+   CI and quick profiling sessions need no intermediate file. *)
+let profile_netlist name scale =
+  if Sys.file_exists name then read_netlist name
+  else
+    match name with
+    | "design1" -> (Design_gen.design1_like ~scale ()).Design_gen.netlist
+    | "design2" -> (Design_gen.design2_like ~scale ()).Design_gen.netlist
+    | "fig1" -> (Design_gen.fig1 ()).Design_gen.netlist
+    | "fig3" -> (Design_gen.fig3_latch ()).Design_gen.netlist
+    | "handshake" -> (Design_gen.handshake ()).Design_gen.netlist
+    | other ->
+        Printf.eprintf
+          "%s: not a file or a generator name \
+           (design1|design2|fig1|fig3|handshake)\n"
+          other;
+        exit 1
+
+let profile_cmd name pins weight scale trace json =
+  let nl = profile_netlist name scale in
+  let obs = Sink.create () in
+  let prepared =
+    Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+  in
+  let tiers = Msched.Compile.route ~obs prepared Tiers.default_options in
+  let forward =
+    Msched.Compile.route_forward ~obs prepared Tiers.default_options
+  in
+  ignore (Msched.Compile.verify_schedule ~obs prepared tiers);
+  ignore (Msched.Compile.verify_schedule ~obs prepared forward);
+  let ppf =
+    if trace = Some "-" || json = Some "-" then Format.err_formatter
+    else Format.std_formatter
+  in
+  Format.fprintf ppf "%a@." Obs_export.pp_summary obs;
+  write_trace trace obs;
+  match json with
+  | None -> ()
+  | Some path -> Obs_export.write_file path (Obs_export.json_string obs)
 
 let vcd_cmd path horizon seed =
   let nl = read_netlist path in
@@ -146,26 +225,61 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Stimulus/clock se
 let partition_arg = Arg.(value & flag & info [ "partition" ] ~doc:"Cluster by partition block")
 let scale_arg = Arg.(value & opt float 0.1 & info [ "scale" ] ~doc:"Generator scale")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the run (\"-\" = stdout)")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the observability JSON document (\"-\" = stdout)")
+
 let name_arg =
   Arg.(
     required
     & pos 0 (some string) None
     & info [] ~docv:"NAME" ~doc:"design1|design2|fig1|fig3|handshake")
 
+let profile_name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DESIGN"
+        ~doc:"Netlist file, or generator name design1|design2|fig1|fig3|handshake")
+
 let cmds =
   [
     Cmd.v (Cmd.info "compile" ~doc:"Compile a netlist and print the schedule")
-      Term.(const compile_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg $ forward_arg);
+      Term.(
+        const compile_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg
+        $ forward_arg $ trace_arg);
     Cmd.v
       (Cmd.info "check"
          ~doc:"Compile a netlist and statically verify the schedule")
-      Term.(const check_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg $ forward_arg);
+      Term.(
+        const check_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg
+        $ forward_arg $ trace_arg);
     Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
       Term.(const stats_cmd $ path_arg);
     Cmd.v (Cmd.info "dot" ~doc:"Graphviz DOT export")
       Term.(const dot_cmd $ path_arg $ partition_arg $ weight_arg);
     Cmd.v (Cmd.info "simulate" ~doc:"Compile and co-simulate against the golden model")
-      Term.(const simulate_cmd $ path_arg $ horizon_arg $ seed_arg $ pins_arg $ weight_arg);
+      Term.(
+        const simulate_cmd $ path_arg $ horizon_arg $ seed_arg $ pins_arg
+        $ weight_arg $ trace_arg);
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "Run the full pipeline (prepare, both schedulers, verifier) with \
+            an enabled observability sink and print the span/metric summary")
+      Term.(
+        const profile_cmd $ profile_name_arg $ pins_arg $ weight_arg
+        $ scale_arg $ trace_arg $ json_arg);
     Cmd.v (Cmd.info "vcd" ~doc:"Golden-simulate and dump a VCD waveform to stdout")
       Term.(const vcd_cmd $ path_arg $ horizon_arg $ seed_arg);
     Cmd.v (Cmd.info "gen" ~doc:"Emit a benchmark design in the text format")

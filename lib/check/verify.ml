@@ -243,7 +243,9 @@ let local_settle_table nl region cells =
     (Traverse.topo region);
   table
 
-let verify placement analysis (sched : Schedule.t) =
+let verify ?(obs = Msched_obs.Sink.null) placement analysis
+    (sched : Schedule.t) =
+  Msched_obs.Sink.span obs "verify" @@ fun () ->
   let part = Placement.partition placement in
   let nl = Partition.netlist part in
   let sys = Placement.system placement in
@@ -586,11 +588,23 @@ let verify placement analysis (sched : Schedule.t) =
           ls.Schedule.ls_transports)
       links_from.(b)
   done;
-  {
-    violations = List.rev !violations;
-    length;
-    links_checked = List.length sched.Schedule.link_scheds;
-    transports_checked = !transports_checked;
-    holdoffs_checked = List.length sched.Schedule.holdoffs;
-    blocks_checked = nblocks;
-  }
+  let report =
+    {
+      violations = List.rev !violations;
+      length;
+      links_checked = List.length sched.Schedule.link_scheds;
+      transports_checked = !transports_checked;
+      holdoffs_checked = List.length sched.Schedule.holdoffs;
+      blocks_checked = nblocks;
+    }
+  in
+  if Msched_obs.Sink.enabled obs then begin
+    let module Sink = Msched_obs.Sink in
+    Sink.add obs "verify.runs" 1;
+    Sink.add obs "verify.links_checked" report.links_checked;
+    Sink.add obs "verify.transports_checked" report.transports_checked;
+    Sink.add obs "verify.holdoffs_checked" report.holdoffs_checked;
+    Sink.add obs "verify.blocks_checked" report.blocks_checked;
+    Sink.add obs "verify.violations" (List.length report.violations)
+  end;
+  report

@@ -170,6 +170,7 @@ val hold_safety_cells : report -> Ids.Cell.Set.t
 val pp_report : Format.formatter -> report -> unit
 
 val verify :
+  ?obs:Msched_obs.Sink.t ->
   Msched_place.Placement.t ->
   Msched_mts.Domain_analysis.t ->
   Schedule.t ->

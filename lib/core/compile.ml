@@ -8,6 +8,7 @@ module Latch_analysis = Msched_mts.Latch_analysis
 module Transform = Msched_mts.Transform
 module Classify = Msched_mts.Classify
 module Tiers = Msched_route.Tiers
+module Sink = Msched_obs.Sink
 
 type options = {
   max_block_weight : int;
@@ -19,6 +20,7 @@ type options = {
   place_effort : int;
   route : Tiers.options;
   verify : bool;
+  obs : Sink.t;
 }
 
 let default_options =
@@ -32,6 +34,7 @@ let default_options =
     place_effort = 4;
     route = Tiers.default_options;
     verify = true;
+    obs = Sink.null;
   }
 
 type prepared = {
@@ -51,15 +54,27 @@ type compiled = { prepared : prepared; schedule : Msched_route.Schedule.t }
 exception Compile_error of string
 
 let prepare ?(options = default_options) original =
-  let analysis0 = Domain_analysis.compute original in
+  let obs = options.obs in
+  Sink.span obs "prepare" @@ fun () ->
+  let analysis0 =
+    Sink.span obs "domain-analysis" @@ fun () ->
+    Domain_analysis.compute ~obs original
+  in
   (match Transform.check_supported original analysis0 with
   | Ok () -> ()
   | Error msg -> raise (Compile_error msg));
-  let rewritten = Transform.master_slave original analysis0 in
+  let rewritten =
+    Sink.span obs "mts-transform" @@ fun () ->
+    Transform.master_slave ~obs original analysis0
+  in
   let netlist = rewritten.Transform.netlist in
-  let analysis = Domain_analysis.compute netlist in
+  let analysis =
+    Sink.span obs "domain-analysis" @@ fun () ->
+    Domain_analysis.compute ~obs netlist
+  in
   let partition =
-    Partition.make netlist ~max_weight:options.max_block_weight
+    Sink.span obs "partition" @@ fun () ->
+    Partition.make ~obs netlist ~max_weight:options.max_block_weight
       ~seed:options.partition_seed ()
   in
   (match Partition.validate partition with
@@ -73,11 +88,18 @@ let prepare ?(options = default_options) original =
       ~pins_per_fpga:options.pins_per_fpga
   in
   let placement =
+    Sink.span obs "placement" @@ fun () ->
     Placement.place partition system ~seed:options.place_seed
-      ~effort:options.place_effort ()
+      ~effort:options.place_effort ~obs ()
   in
-  let latch_analysis = Latch_analysis.analyze partition in
-  let classification = Classify.compute partition analysis in
+  let latch_analysis =
+    Sink.span obs "latch-analysis" @@ fun () ->
+    Latch_analysis.analyze ~obs partition
+  in
+  let classification =
+    Sink.span obs "classification" @@ fun () ->
+    Classify.compute ~obs partition analysis
+  in
   {
     original;
     netlist;
@@ -90,22 +112,24 @@ let prepare ?(options = default_options) original =
     classification;
   }
 
-let route prepared route_options =
+let route ?(obs = Sink.null) prepared route_options =
   Tiers.schedule prepared.placement prepared.analysis
-    ~analysis:prepared.latch_analysis ~options:route_options ()
+    ~analysis:prepared.latch_analysis ~options:route_options ~obs ()
 
-let route_forward prepared route_options =
+let route_forward ?(obs = Sink.null) prepared route_options =
   Msched_route.Forward.schedule prepared.placement prepared.analysis
-    ~analysis:prepared.latch_analysis ~options:route_options ()
+    ~analysis:prepared.latch_analysis ~options:route_options ~obs ()
 
-let verify_schedule prepared sched =
-  Msched_check.Verify.verify prepared.placement prepared.analysis sched
+let verify_schedule ?(obs = Sink.null) prepared sched =
+  Msched_check.Verify.verify ~obs prepared.placement prepared.analysis sched
 
 let compile ?(options = default_options) nl =
+  let obs = options.obs in
+  Sink.span obs "compile" @@ fun () ->
   let prepared = prepare ~options nl in
-  let schedule = route prepared options.route in
+  let schedule = route ~obs prepared options.route in
   if options.verify then begin
-    let report = verify_schedule prepared schedule in
+    let report = verify_schedule ~obs prepared schedule in
     if not (Msched_check.Verify.is_clean report) then
       raise
         (Compile_error

@@ -21,6 +21,10 @@ type options = {
   verify : bool;
       (** Run the independent static verifier ({!Msched_check.Verify}) on
           the compiled schedule and raise {!Compile_error} on violations. *)
+  obs : Msched_obs.Sink.t;
+      (** Observability sink.  {!Msched_obs.Sink.null} (the default) makes
+          every probe a no-op; an enabled sink records a span per pipeline
+          phase plus the counters catalogued in [docs/OBSERVABILITY.md]. *)
 }
 
 val default_options : options
@@ -50,14 +54,25 @@ val prepare : ?options:options -> Netlist.t -> prepared
 (** @raise Compile_error on unsupported constructs (multi-domain RAM write
     clocks) or infeasible capacity settings. *)
 
-val route : prepared -> Msched_route.Tiers.options -> Msched_route.Schedule.t
+val route :
+  ?obs:Msched_obs.Sink.t ->
+  prepared ->
+  Msched_route.Tiers.options ->
+  Msched_route.Schedule.t
 (** Reverse (TIERS) scheduling. *)
 
 val route_forward :
-  prepared -> Msched_route.Tiers.options -> Msched_route.Schedule.t
+  ?obs:Msched_obs.Sink.t ->
+  prepared ->
+  Msched_route.Tiers.options ->
+  Msched_route.Schedule.t
 (** Forward list scheduling (see {!Msched_route.Forward}). *)
 
-val verify_schedule : prepared -> Msched_route.Schedule.t -> Msched_check.Verify.report
+val verify_schedule :
+  ?obs:Msched_obs.Sink.t ->
+  prepared ->
+  Msched_route.Schedule.t ->
+  Msched_check.Verify.report
 (** Run the static verifier against a schedule routed from [prepared]. *)
 
 val compile : ?options:options -> Netlist.t -> compiled

@@ -23,9 +23,10 @@ type t = {
 
 let of_design ?(options = Compile.default_options) (d : Msched_gen.Design_gen.design) =
   let prepared = Compile.prepare ~options d.Msched_gen.Design_gen.netlist in
-  let hard = Compile.route prepared Tiers.hard_options in
+  let hard = Compile.route ~obs:options.Compile.obs prepared Tiers.hard_options in
   let virt =
-    Compile.route prepared { options.Compile.route with Tiers.mode = Tiers.Mts_virtual }
+    Compile.route ~obs:options.Compile.obs prepared
+      { options.Compile.route with Tiers.mode = Tiers.Mts_virtual }
   in
   let cls = prepared.Compile.classification in
   let nl = prepared.Compile.netlist in

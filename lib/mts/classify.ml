@@ -9,7 +9,7 @@ type t = {
   mts_crossings : (Ids.Net.t * Ids.Block.t) list;
 }
 
-let compute part analysis =
+let compute ?(obs = Msched_obs.Sink.null) part analysis =
   let nl = Partition.netlist part in
   let mts_nets = ref Ids.Net.Set.empty in
   Netlist.iter_nets nl (fun n _ ->
@@ -40,13 +40,19 @@ let compute part analysis =
           (Partition.foreign_consumers part net)
       end)
     (Partition.crossing_nets part);
-  {
-    mts_nets = !mts_nets;
-    mts_gates = !mts_gates;
-    mts_states = !mts_states;
-    mts_blocks = !mts_blocks;
-    mts_crossings = List.rev !mts_crossings;
-  }
+  let t =
+    {
+      mts_nets = !mts_nets;
+      mts_gates = !mts_gates;
+      mts_states = !mts_states;
+      mts_blocks = !mts_blocks;
+      mts_crossings = List.rev !mts_crossings;
+    }
+  in
+  Msched_obs.Sink.add obs "classify.mts_states" (Ids.Cell.Set.cardinal t.mts_states);
+  Msched_obs.Sink.add obs "classify.mts_paths" (List.length t.mts_crossings);
+  Msched_obs.Sink.add obs "classify.mts_blocks" (Ids.Block.Set.cardinal t.mts_blocks);
+  t
 
 let num_mts_blocks t = Ids.Block.Set.cardinal t.mts_blocks
 

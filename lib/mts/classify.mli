@@ -15,7 +15,10 @@ type t = {
 }
 
 val compute :
-  Msched_partition.Partition.t -> Domain_analysis.t -> t
+  ?obs:Msched_obs.Sink.t ->
+  Msched_partition.Partition.t ->
+  Domain_analysis.t ->
+  t
 
 val num_mts_blocks : t -> int
 val num_non_mts_blocks : Msched_partition.Partition.t -> t -> int

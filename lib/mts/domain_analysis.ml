@@ -121,10 +121,26 @@ let compute_sample nl trans =
   done;
   sample
 
-let compute nl =
+let compute ?(obs = Msched_obs.Sink.null) nl =
   let trans = compute_trans nl in
   let sample = compute_sample nl trans in
-  { trans; sample }
+  let t = { trans; sample } in
+  if Msched_obs.Sink.enabled obs then begin
+    let module Sink = Msched_obs.Sink in
+    Sink.add obs "domain.nets" (Netlist.num_nets nl);
+    Sink.add obs "domain.domains" (List.length (Netlist.domains nl));
+    let multi = ref 0 and mts = ref 0 in
+    Array.iteri
+      (fun i ds ->
+        if DSet.cardinal ds >= 2 then begin
+          Stdlib.incr multi;
+          if DSet.cardinal sample.(i) >= 2 then Stdlib.incr mts
+        end)
+      trans;
+    Sink.add obs "domain.multi_transition_nets" !multi;
+    Sink.add obs "domain.mts_nets" !mts
+  end;
+  t
 
 let trigger_domains t tr = trigger_domains_with t.trans tr
 let is_multi_transition t n = DSet.cardinal (transitions t n) >= 2

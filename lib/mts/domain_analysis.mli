@@ -15,7 +15,9 @@ open Msched_netlist
 
 type t
 
-val compute : Netlist.t -> t
+val compute : ?obs:Msched_obs.Sink.t -> Netlist.t -> t
+(** [obs] records [domain.*] counters (net, domain and multi-transition
+    counts). *)
 
 val transitions : t -> Ids.Net.t -> Ids.Dom.Set.t
 val samples : t -> Ids.Net.t -> Ids.Dom.Set.t

@@ -335,9 +335,19 @@ let analyze_block part block =
     local_max_settle = compute_local_settle nl region cells;
   }
 
-let analyze part =
-  Array.init (Partition.num_blocks part) (fun b ->
-      analyze_block part (Ids.Block.of_int b))
+let analyze ?(obs = Msched_obs.Sink.null) part =
+  let la =
+    Array.init (Partition.num_blocks part) (fun b ->
+        analyze_block part (Ids.Block.of_int b))
+  in
+  if Msched_obs.Sink.enabled obs then
+    Array.iter
+      (fun lab ->
+        Msched_obs.Sink.add obs "latch.groups" (Array.length lab.groups);
+        Msched_obs.Sink.add obs "latch.origins"
+          (Ids.Net.Tbl.length lab.origins))
+      la;
+  la
 
 let group_of_latch t latch =
   Array.fold_left

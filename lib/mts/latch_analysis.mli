@@ -63,7 +63,7 @@ type t = {
 
 val analyze_block : Msched_partition.Partition.t -> Ids.Block.t -> t
 
-val analyze : Msched_partition.Partition.t -> t array
+val analyze : ?obs:Msched_obs.Sink.t -> Msched_partition.Partition.t -> t array
 (** One entry per block, indexed by [Ids.Block.to_int]. *)
 
 val group_of_latch : t -> Ids.Cell.t -> group option

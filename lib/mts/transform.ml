@@ -27,7 +27,7 @@ let is_mts_ff analysis (c : Cell.t) =
 (* Rebuild the netlist, preserving net ids: every original net is
    pre-allocated in id order, then cells are re-added in id order with _to
    constructors.  Master-latch output nets are appended at the end. *)
-let master_slave nl analysis =
+let master_slave ?(obs = Msched_obs.Sink.null) nl analysis =
   let b = Netlist.Builder.create ~design_name:(Netlist.design_name nl) () in
   List.iter
     (fun d ->
@@ -110,4 +110,9 @@ let master_slave nl analysis =
               ());
         new_cell_of_old.(old_idx) <- id
       end);
-  { netlist = Netlist.Builder.finalize b; rewrites = List.rev !rewrites; new_cell_of_old }
+  let r =
+    { netlist = Netlist.Builder.finalize b; rewrites = List.rev !rewrites; new_cell_of_old }
+  in
+  Msched_obs.Sink.add obs "mts.ff_rewrites" (List.length r.rewrites);
+  Msched_obs.Sink.add obs "mts.cells_out" (Netlist.num_cells r.netlist);
+  r

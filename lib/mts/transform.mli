@@ -24,7 +24,8 @@ type rewritten = {
           latch (which drives the flip-flop's original output net). *)
 }
 
-val master_slave : Netlist.t -> Domain_analysis.t -> rewritten
+val master_slave :
+  ?obs:Msched_obs.Sink.t -> Netlist.t -> Domain_analysis.t -> rewritten
 (** Identity (modulo cell renumbering) when the design has no MTS
     flip-flops. *)
 

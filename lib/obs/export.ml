@@ -1,0 +1,216 @@
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_add_float b f =
+  (* JSON has no NaN/Infinity; clamp to null-free finite output. *)
+  if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+  else Buffer.add_string b "0"
+
+let add_sep b first = if !first then first := false else Buffer.add_string b ","
+
+let obj_of_strings b kvs =
+  Buffer.add_char b '{';
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      add_sep b first;
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      buf_add_json_string b v)
+    kvs;
+  Buffer.add_char b '}'
+
+(* ------------------------------------------------------------------ *)
+
+let pp_summary ppf sink =
+  let spans = Sink.spans sink in
+  if spans = [] then Format.fprintf ppf "obs: no spans recorded@."
+  else begin
+    Format.fprintf ppf "spans:@.";
+    (* [spans] is in start order; since children start after their parent
+       and finish before it, printing in start order with depth
+       indentation reproduces the tree. *)
+    List.iter
+      (fun (s : Sink.span) ->
+        Format.fprintf ppf "  %s%-*s %8.3f ms%s@."
+          (String.concat "" (List.init s.Sink.sp_depth (fun _ -> "  ")))
+          (max 1 (28 - (2 * s.Sink.sp_depth)))
+          s.Sink.sp_name
+          (float_of_int s.Sink.sp_dur_us /. 1e3)
+          (match s.Sink.sp_args with
+          | [] -> ""
+          | args ->
+              "  ["
+              ^ String.concat ", "
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+              ^ "]"))
+      spans
+  end;
+  (match Sink.counters sink with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf "counters:@.";
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %d@." k v) cs);
+  (match Sink.gauges sink with
+  | [] -> ()
+  | gs ->
+      Format.fprintf ppf "gauges:@.";
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %g@." k v) gs);
+  match Sink.histograms sink with
+  | [] -> ()
+  | hs ->
+      Format.fprintf ppf "histograms:@.";
+      List.iter
+        (fun (k, (h : Sink.hist_summary)) ->
+          Format.fprintf ppf
+            "  %-32s n=%d sum=%d min=%d p50=%d p90=%d max=%d mean=%.2f@." k
+            h.Sink.hs_count h.Sink.hs_sum h.Sink.hs_min h.Sink.hs_p50
+            h.Sink.hs_p90 h.Sink.hs_max h.Sink.hs_mean)
+        hs
+
+(* ------------------------------------------------------------------ *)
+
+let json_string sink =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"msched-obs-1\",\"spans\":[";
+  let first = ref true in
+  List.iter
+    (fun (s : Sink.span) ->
+      add_sep b first;
+      Buffer.add_string b "{\"id\":";
+      Buffer.add_string b (string_of_int s.Sink.sp_id);
+      Buffer.add_string b ",\"parent\":";
+      (match s.Sink.sp_parent with
+      | None -> Buffer.add_string b "null"
+      | Some p -> Buffer.add_string b (string_of_int p));
+      Buffer.add_string b ",\"depth\":";
+      Buffer.add_string b (string_of_int s.Sink.sp_depth);
+      Buffer.add_string b ",\"name\":";
+      buf_add_json_string b s.Sink.sp_name;
+      Buffer.add_string b ",\"begin_us\":";
+      Buffer.add_string b (string_of_int s.Sink.sp_begin_us);
+      Buffer.add_string b ",\"dur_us\":";
+      Buffer.add_string b (string_of_int s.Sink.sp_dur_us);
+      Buffer.add_string b ",\"args\":";
+      obj_of_strings b s.Sink.sp_args;
+      Buffer.add_char b '}')
+    (Sink.spans sink);
+  Buffer.add_string b "],\"counters\":{";
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      add_sep b first;
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int v))
+    (Sink.counters sink);
+  Buffer.add_string b "},\"gauges\":{";
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      add_sep b first;
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      buf_add_float b v)
+    (Sink.gauges sink);
+  Buffer.add_string b "},\"histograms\":{";
+  let first = ref true in
+  List.iter
+    (fun (k, (h : Sink.hist_summary)) ->
+      add_sep b first;
+      buf_add_json_string b k;
+      Buffer.add_string b
+        (Printf.sprintf
+           ":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":" h.Sink.hs_count
+           h.Sink.hs_sum h.Sink.hs_min h.Sink.hs_max);
+      buf_add_float b h.Sink.hs_mean;
+      Buffer.add_string b
+        (Printf.sprintf ",\"p50\":%d,\"p90\":%d}" h.Sink.hs_p50 h.Sink.hs_p90))
+    (Sink.histograms sink);
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let chrome_trace_string sink =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  add_sep b first;
+  Buffer.add_string b
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"msched\"}}";
+  let t_max = ref 0 in
+  List.iter
+    (fun (s : Sink.span) ->
+      if s.Sink.sp_begin_us + s.Sink.sp_dur_us > !t_max then
+        t_max := s.Sink.sp_begin_us + s.Sink.sp_dur_us;
+      add_sep b first;
+      Buffer.add_string b "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":";
+      buf_add_json_string b s.Sink.sp_name;
+      Buffer.add_string b ",\"ts\":";
+      Buffer.add_string b (string_of_int s.Sink.sp_begin_us);
+      Buffer.add_string b ",\"dur\":";
+      Buffer.add_string b (string_of_int (max 1 s.Sink.sp_dur_us));
+      Buffer.add_string b ",\"args\":";
+      obj_of_strings b s.Sink.sp_args;
+      Buffer.add_char b '}')
+    (Sink.spans sink);
+  (* One counter track per counter/gauge, sampled once at the trace end so
+     Perfetto shows final values next to the span tree. *)
+  List.iter
+    (fun (k, v) ->
+      add_sep b first;
+      Buffer.add_string b "{\"ph\":\"C\",\"pid\":1,\"name\":";
+      buf_add_json_string b k;
+      Buffer.add_string b ",\"ts\":";
+      Buffer.add_string b (string_of_int !t_max);
+      Buffer.add_string b ",\"args\":{\"value\":";
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_string b "}}")
+    (Sink.counters sink);
+  List.iter
+    (fun (k, v) ->
+      add_sep b first;
+      Buffer.add_string b "{\"ph\":\"C\",\"pid\":1,\"name\":";
+      buf_add_json_string b k;
+      Buffer.add_string b ",\"ts\":";
+      Buffer.add_string b (string_of_int !t_max);
+      Buffer.add_string b ",\"args\":{\"value\":";
+      buf_add_float b v;
+      Buffer.add_string b "}}")
+    (Sink.gauges sink);
+  List.iter
+    (fun (k, (h : Sink.hist_summary)) ->
+      add_sep b first;
+      Buffer.add_string b "{\"ph\":\"C\",\"pid\":1,\"name\":";
+      buf_add_json_string b k;
+      Buffer.add_string b ",\"ts\":";
+      Buffer.add_string b (string_of_int !t_max);
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"args\":{\"p50\":%d,\"p90\":%d,\"max\":%d}}" h.Sink.hs_p50
+           h.Sink.hs_p90 h.Sink.hs_max))
+    (Sink.histograms sink);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_file path contents =
+  if String.equal path "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  end

@@ -1,0 +1,205 @@
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_depth : int;
+  sp_name : string;
+  sp_args : (string * string) list;
+  sp_begin_us : int;
+  sp_dur_us : int;
+}
+
+type hist_summary = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_mean : float;
+  hs_p50 : int;
+  hs_p90 : int;
+}
+
+(* Raw histogram state: exact count/sum/min/max plus a capped sample of the
+   observations for percentile estimates. *)
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  mutable h_values : int list;  (* newest first *)
+  mutable h_kept : int;
+}
+
+let hist_cap = 65536
+
+type open_span = { os_id : int; os_name : string; os_args : (string * string) list; os_begin : float }
+
+type state = {
+  clock : unit -> float;
+  t0 : float;
+  mutable next_id : int;
+  mutable stack : open_span list;  (* innermost first *)
+  mutable done_spans : span list;  (* newest completion first *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+type t = Null | Enabled of state
+
+let null = Null
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  Enabled
+    {
+      clock;
+      t0 = clock ();
+      next_id = 0;
+      stack = [];
+      done_spans = [];
+      counters = Hashtbl.create 64;
+      gauges = Hashtbl.create 16;
+      hists = Hashtbl.create 16;
+    }
+
+let enabled = function Null -> false | Enabled _ -> true
+
+let us_of s t = int_of_float ((t -. s.t0) *. 1e6)
+
+let span t ?(args = []) name f =
+  match t with
+  | Null -> f ()
+  | Enabled s ->
+      let id = s.next_id in
+      s.next_id <- id + 1;
+      let os = { os_id = id; os_name = name; os_args = args; os_begin = s.clock () } in
+      s.stack <- os :: s.stack;
+      let close () =
+        let t_end = s.clock () in
+        (* Close any spans the thunk left open (an exception escaped an
+           inner [span]'s thunk before Fun.protect there could run — or the
+           thunk opened spans through an escaping continuation): pop down to
+           and including [os] so nesting stays well-formed. *)
+        let rec pop = function
+          | [] -> []
+          | o :: rest ->
+              let parent =
+                match rest with [] -> None | p :: _ -> Some p.os_id
+              in
+              let depth = List.length rest in
+              s.done_spans <-
+                {
+                  sp_id = o.os_id;
+                  sp_parent = parent;
+                  sp_depth = depth;
+                  sp_name = o.os_name;
+                  sp_args = o.os_args;
+                  sp_begin_us = us_of s o.os_begin;
+                  sp_dur_us = max 0 (us_of s t_end - us_of s o.os_begin);
+                }
+                :: s.done_spans;
+              if o.os_id = os.os_id then rest else pop rest
+        in
+        s.stack <- pop s.stack
+      in
+      Fun.protect ~finally:close f
+
+let add t name d =
+  match t with
+  | Null -> ()
+  | Enabled s -> (
+      match Hashtbl.find_opt s.counters name with
+      | Some r -> r := !r + d
+      | None -> Hashtbl.replace s.counters name (ref d))
+
+let incr t name = add t name 1
+
+let gauge t name v =
+  match t with
+  | Null -> ()
+  | Enabled s -> (
+      match Hashtbl.find_opt s.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace s.gauges name (ref v))
+
+let observe t name v =
+  match t with
+  | Null -> ()
+  | Enabled s ->
+      let h =
+        match Hashtbl.find_opt s.hists name with
+        | Some h -> h
+        | None ->
+            let h =
+              { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int; h_values = []; h_kept = 0 }
+            in
+            Hashtbl.replace s.hists name h;
+            h
+      in
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      if h.h_kept < hist_cap then begin
+        h.h_values <- v :: h.h_values;
+        h.h_kept <- h.h_kept + 1
+      end
+
+let spans = function
+  | Null -> []
+  | Enabled s ->
+      List.sort (fun a b -> compare a.sp_id b.sp_id) s.done_spans
+
+let open_spans = function
+  | Null -> []
+  | Enabled s -> List.map (fun o -> o.os_name) s.stack
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters = function
+  | Null -> []
+  | Enabled s -> sorted_bindings s.counters (fun r -> !r)
+
+let counter t name =
+  match t with
+  | Null -> 0
+  | Enabled s -> (
+      match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0)
+
+let gauges = function
+  | Null -> []
+  | Enabled s -> sorted_bindings s.gauges (fun r -> !r)
+
+let percentile sorted n q =
+  if n = 0 then 0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let summarize h =
+  let sorted = Array.of_list h.h_values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  {
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_min = (if h.h_count = 0 then 0 else h.h_min);
+    hs_max = (if h.h_count = 0 then 0 else h.h_max);
+    hs_mean =
+      (if h.h_count = 0 then 0.0
+       else float_of_int h.h_sum /. float_of_int h.h_count);
+    hs_p50 = percentile sorted n 0.50;
+    hs_p90 = percentile sorted n 0.90;
+  }
+
+let histograms = function
+  | Null -> []
+  | Enabled s -> sorted_bindings s.hists summarize
+
+let hist_values t name =
+  match t with
+  | Null -> []
+  | Enabled s -> (
+      match Hashtbl.find_opt s.hists name with
+      | Some h -> List.rev h.h_values
+      | None -> [])

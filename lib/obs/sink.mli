@@ -1,0 +1,93 @@
+(** Pipeline observability: hierarchical timed spans plus counters, gauges
+    and histograms, recorded into an in-memory sink.
+
+    The compiler is instrumented throughout ({!Msched.Compile},
+    {!Msched_route.Tiers}, {!Msched_route.Forward},
+    {!Msched_route.Pathfind}, {!Msched_check.Verify}, …) against this
+    interface; every instrumented entry point takes an optional [?obs]
+    argument defaulting to {!null}.  The null sink makes every operation a
+    single tag test, so the instrumentation is free when profiling is off.
+
+    A sink is single-threaded mutable state: record into it from one
+    pipeline run (or several sequential runs — metrics accumulate, spans
+    append), then hand it to {!Export} for the human summary tree, the
+    stable JSON document, or the Chrome/Perfetto trace.
+
+    Metric names are dot-separated, lower-case, category-first
+    (["pathfind.searches"], ["channel.peak_usage"]); the catalogue lives in
+    [docs/OBSERVABILITY.md]. *)
+
+type t
+
+type span = {
+  sp_id : int;  (** Dense, in start order. *)
+  sp_parent : int option;  (** [sp_id] of the enclosing span. *)
+  sp_depth : int;  (** 0 for roots. *)
+  sp_name : string;
+  sp_args : (string * string) list;
+  sp_begin_us : int;  (** Microseconds since the sink was created. *)
+  sp_dur_us : int;
+}
+
+type hist_summary = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_mean : float;
+  hs_p50 : int;
+  hs_p90 : int;
+}
+
+val null : t
+(** The disabled sink: every operation is a no-op and {!span} reduces to
+    calling its thunk. *)
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh enabled sink.  [clock] (seconds, monotone non-decreasing)
+    defaults to [Unix.gettimeofday]; inject a fake for deterministic
+    tests. *)
+
+val enabled : t -> bool
+
+val span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()] as a span nested inside the innermost
+    span currently open on [t].  The span is closed even if [f] raises. *)
+
+val add : t -> string -> int -> unit
+(** Add to a counter (created at zero on first touch).  Counters are
+    monotone by convention: pass non-negative deltas. *)
+
+val incr : t -> string -> unit
+(** [add t name 1]. *)
+
+val gauge : t -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : t -> string -> int -> unit
+(** Record one observation into a histogram. *)
+
+(** {2 Introspection (used by {!Export} and tests)} *)
+
+val spans : t -> span list
+(** Completed spans in start order.  Empty for {!null}. *)
+
+val open_spans : t -> string list
+(** Names of spans currently open, innermost first (empty when every
+    {!span} call has returned). *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val counter : t -> string -> int
+(** 0 when never touched. *)
+
+val gauges : t -> (string * float) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * hist_summary) list
+(** Sorted by name. *)
+
+val hist_values : t -> string -> int list
+(** Raw observations of one histogram, oldest first (capped; see
+    {!hist_summary} for totals that never lose precision). *)

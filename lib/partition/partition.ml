@@ -279,7 +279,7 @@ let compact assignment =
   done;
   Array.map (fun b -> remap.(b)) assignment
 
-let make nl ~max_weight ?(seed = 1) () =
+let make ?(obs = Msched_obs.Sink.null) nl ~max_weight ?(seed = 1) () =
   if max_weight <= 0 then invalid_arg "Partition.make: max_weight";
   let ncells = Netlist.num_cells nl in
   let order = Array.init ncells Fun.id in
@@ -300,7 +300,15 @@ let make nl ~max_weight ?(seed = 1) () =
       if moved > 0 then loop (pass + 1)
   in
   loop 0;
-  build nl (compact assignment)
+  let t = build nl (compact assignment) in
+  if Msched_obs.Sink.enabled obs then begin
+    let module Sink = Msched_obs.Sink in
+    Sink.add obs "partition.blocks" (num_blocks t);
+    List.iter
+      (fun b -> Sink.observe obs "partition.block_weight" (weight_of_block t b))
+      (blocks t)
+  end;
+  t
 
 let foreign_consumers t net =
   let nl = t.netlist in

@@ -14,7 +14,13 @@ open Msched_netlist
 
 type t
 
-val make : Netlist.t -> max_weight:int -> ?seed:int -> unit -> t
+val make :
+  ?obs:Msched_obs.Sink.t ->
+  Netlist.t ->
+  max_weight:int ->
+  ?seed:int ->
+  unit ->
+  t
 (** Cluster into blocks of weight at most [max_weight].
     @raise Invalid_argument if some single cell outweighs [max_weight]. *)
 

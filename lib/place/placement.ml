@@ -127,7 +127,8 @@ let constructive part sys conns pinned =
     order;
   fpga_of_block
 
-let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = []) () =
+let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = [])
+    ?(obs = Msched_obs.Sink.null) () =
   let nb = Partition.num_blocks part in
   let nf = System.num_fpgas sys in
   if nb > nf then
@@ -173,6 +174,8 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = []) () =
     in
     let cost = ref (cost_of sys conns fpga_of_block) in
     let moves = effort * 200 * nb in
+    let tried = ref 0 in
+    let accepted = ref 0 in
     let temp0 = 1.0 +. (float_of_int !cost /. float_of_int (max 1 nb)) in
     for m = 0 to moves - 1 do
       let f1 = Random.State.int rng nf and f2 = Random.State.int rng nf in
@@ -196,6 +199,7 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = []) () =
           if b1 >= 0 then fpga_of_block.(b1) <- f1;
           if b2 >= 0 then fpga_of_block.(b2) <- f2
         in
+        Stdlib.incr tried;
         let before = local_cost b1 b2 + local_cost b2 b1 in
         swap ();
         let after = local_cost b1 b2 + local_cost b2 b1 in
@@ -206,11 +210,18 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = []) () =
         if
           delta <= 0
           || Random.State.float rng 1.0 < exp (-.float_of_int delta /. temp)
-        then cost := !cost + delta
+        then begin
+          Stdlib.incr accepted;
+          cost := !cost + delta
+        end
         else unswap ()
       end
-    done
+    done;
+    Msched_obs.Sink.add obs "place.moves_tried" !tried;
+    Msched_obs.Sink.add obs "place.moves_accepted" !accepted
   end;
+  Msched_obs.Sink.gauge obs "place.wirelength"
+    (float_of_int (cost_of sys conns fpga_of_block));
   build part sys fpga_of_block
 
 let wirelength t =

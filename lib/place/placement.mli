@@ -15,6 +15,7 @@ val place :
   ?seed:int ->
   ?effort:int ->
   ?pinned:(Ids.Block.t * Ids.Fpga.t) list ->
+  ?obs:Msched_obs.Sink.t ->
   unit ->
   t
 (** [effort] scales the annealing move budget (default 4; 0 disables

@@ -4,6 +4,7 @@ module Placement = Msched_place.Placement
 module System = Msched_arch.System
 module Domain_analysis = Msched_mts.Domain_analysis
 module Latch_analysis = Msched_mts.Latch_analysis
+module Sink = Msched_obs.Sink
 
 exception Unsupported of string
 
@@ -16,9 +17,10 @@ type avail_env = {
 }
 
 let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
-    () =
+    ?(obs = Sink.null) () =
   if options.Tiers.mode = Tiers.Mts_hard then
     raise (Unsupported "forward scheduler has no hard-routing mode");
+  Sink.span obs "forward" @@ fun () ->
   let part = Placement.partition placement in
   let nl = Partition.netlist part in
   let sys = Placement.system placement in
@@ -26,11 +28,15 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
     match analysis with Some a -> a | None -> Latch_analysis.analyze part
   in
   let links =
+    Sink.span obs "forward.link-build" @@ fun () ->
     Array.of_list
       (Link.build placement dom_analysis ~decompose_mts:true ~hard_mts:false)
   in
+  Sink.add obs "sched.links" (Array.length links);
   let res = Resource.create sys in
-  let order, warnings = Sched_graph.order part la links in
+  let order, warnings =
+    Sink.span obs "forward.order" @@ fun () -> Sched_graph.order part la links
+  in
   let order = List.rev order (* producers first *) in
   let env = { arr = Hashtbl.create 1024; eval = Ids.Cell.Tbl.create 64 } in
   let arrival ~block ~net =
@@ -160,7 +166,7 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
       List.map
         (fun dom ->
           match
-            Pathfind.search_forward sys res ~src:l.Link.src_fpga
+            Pathfind.search_forward ~obs sys res ~src:l.Link.src_fpga
               ~dst:l.Link.dst_fpga ~t_dep:dep
               ~max_extra:options.Tiers.max_extra_slots
           with
@@ -182,6 +188,8 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
       end
       else transports
     in
+    Sink.add obs "sched.transports" (List.length transports);
+    Sink.observe obs "fork.fanout" (List.length transports);
     routed.(xi) <- transports;
     let arr_final =
       List.fold_left (fun acc (_, _, arr, _) -> max acc arr) 0 transports
@@ -190,12 +198,13 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
     let cur = Option.value ~default:0 (Hashtbl.find_opt env.arr key) in
     if arr_final > cur then Hashtbl.replace env.arr key arr_final
   in
-  List.iter
-    (fun node ->
-      match node with
-      | Sched_graph.Lnk i -> process_link i
-      | Sched_graph.Grp (b, gi) -> process_group b gi)
-    order;
+  (Sink.span obs "forward.forward-pass" @@ fun () ->
+   List.iter
+     (fun node ->
+       match node with
+       | Sched_graph.Lnk i -> process_link i
+       | Sched_graph.Grp (b, gi) -> process_group b gi)
+     order);
   (* ---- Frame length: latest arrival/evaluation plus frame-end cones. *)
   let length = ref 1 in
   let length_driver = ref "minimum frame" in
@@ -208,7 +217,8 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
   bump_len (Resource.max_rslot res) (fun () ->
       "wire congestion (latest reserved slot)");
   let nblocks = Partition.num_blocks part in
-  for b = 0 to nblocks - 1 do
+  (Sink.span obs "forward.length" @@ fun () ->
+   for b = 0 to nblocks - 1 do
     let lab = la.(b) in
     Ids.Net.Tbl.iter
       (fun m info ->
@@ -253,7 +263,7 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
                   Ids.Block.pp (Ids.Block.of_int b))
         | None -> ())
       (Partition.cells_of_block part (Ids.Block.of_int b))
-  done;
+   done);
   let length_driver = !length_driver in
   let length = !length in
   let link_scheds =
@@ -279,18 +289,23 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
   let holdoffs =
     if not options.Tiers.latch_ordering then []
     else
-      Holdoff.compute part dom_analysis la
+      Sink.span obs "forward.holdoff" @@ fun () ->
+      Holdoff.compute ~obs part dom_analysis la
         ~same_domain_only:options.Tiers.same_domain_only ~length
         ~arrival:(Holdoff.arrival_oracle link_scheds)
   in
-  {
-    Schedule.length;
-    length_driver;
-    vclock_hz = System.vclock_hz sys;
-    link_scheds;
-    holdoffs;
-    peak_channel_usage = Resource.peak_usage res;
-    dedicated_per_channel =
-      Array.make (Array.length (System.channels sys)) 0;
-    warnings;
-  }
+  let sched =
+    {
+      Schedule.length;
+      length_driver;
+      vclock_hz = System.vclock_hz sys;
+      link_scheds;
+      holdoffs;
+      peak_channel_usage = Resource.peak_usage res;
+      dedicated_per_channel =
+        Array.make (Array.length (System.channels sys)) 0;
+      warnings;
+    }
+  in
+  Schedule.record_metrics obs sched sys;
+  sched

@@ -21,6 +21,7 @@ val schedule :
   Msched_mts.Domain_analysis.t ->
   ?analysis:Msched_mts.Latch_analysis.t array ->
   ?options:Tiers.options ->
+  ?obs:Msched_obs.Sink.t ->
   unit ->
   Schedule.t
 (** @raise Unsupported when [options.mode] is [Mts_hard] (dedicated-wire

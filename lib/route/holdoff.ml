@@ -2,6 +2,7 @@ open Msched_netlist
 module Partition = Msched_partition.Partition
 module Domain_analysis = Msched_mts.Domain_analysis
 module Latch_analysis = Msched_mts.Latch_analysis
+module Sink = Msched_obs.Sink
 
 let arrival_oracle link_scheds =
   let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
@@ -22,7 +23,8 @@ let arrival_oracle link_scheds =
   fun ~block ~net ->
     Option.value ~default:0 (Hashtbl.find_opt tbl (block, Ids.Net.to_int net))
 
-let compute part dom_analysis la ~same_domain_only ~length ~arrival =
+let compute ?(obs = Sink.null) part dom_analysis la ~same_domain_only ~length
+    ~arrival =
   let nl = Partition.netlist part in
   let nblocks = Partition.num_blocks part in
   let out = ref [] in
@@ -74,6 +76,7 @@ let compute part dom_analysis la ~same_domain_only ~length ~arrival =
     in
     let holdoff_tbl = Ids.Cell.Tbl.create 32 in
     let relax () =
+      Sink.incr obs "holdoff.relax_rounds";
       let changed = ref false in
       List.iter
         (fun cid ->

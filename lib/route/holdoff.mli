@@ -17,6 +17,7 @@
 open Msched_netlist
 
 val compute :
+  ?obs:Msched_obs.Sink.t ->
   Msched_partition.Partition.t ->
   Msched_mts.Domain_analysis.t ->
   Msched_mts.Latch_analysis.t array ->

@@ -1,13 +1,15 @@
 open Msched_netlist
 module System = Msched_arch.System
 module Topology = Msched_arch.Topology
+module Sink = Msched_obs.Sink
 
 type path = { p_len : int; p_hops : (int * int) list }
 
 (* Backward BFS from (dst, r_arr).  States are (fpga, r); both transitions
    (wait, hop) increase r by one, so a FIFO queue explores r layer by
    layer and the first time we reach [src] is with minimal latency. *)
-let search sys res ~src ~dst ~r_arr ~max_extra =
+let search ?(obs = Sink.null) sys res ~src ~dst ~r_arr ~max_extra =
+  Sink.incr obs "pathfind.searches";
   if Ids.Fpga.equal src dst then Some { p_len = 0; p_hops = [] }
   else begin
     let dist = Topology.distance (System.topology sys) src dst in
@@ -20,9 +22,12 @@ let search sys res ~src ~dst ~r_arr ~max_extra =
     let start = (Ids.Fpga.to_int dst, r_arr) in
     Hashtbl.replace parent start (start, None);
     Queue.add start queue;
+    let expanded = ref 0 in
+    let blocked = ref 0 in
     let found = ref None in
     while !found = None && not (Queue.is_empty queue) do
       let (f, r) as state = Queue.pop queue in
+      incr expanded;
       if Ids.Fpga.to_int src = f then found := Some state
       else if r < r_limit then begin
         let push next via =
@@ -41,13 +46,20 @@ let search sys res ~src ~dst ~r_arr ~max_extra =
             then
               push
                 (Ids.Fpga.to_int c.System.src, r + 1)
-                (Some c.System.channel_index))
+                (Some c.System.channel_index)
+            else incr blocked)
           (System.in_channels sys (Ids.Fpga.of_int f))
       end
     done;
+    Sink.add obs "pathfind.states_expanded" !expanded;
+    Sink.add obs "pathfind.congestion_blocked" !blocked;
     match !found with
-    | None -> None
+    | None ->
+        Sink.incr obs "pathfind.failures";
+        None
     | Some final ->
+        Sink.observe obs "pathfind.path_len" (snd final - r_arr);
+        Sink.observe obs "pathfind.extra_slots" (snd final - r_arr - dist);
         let rec unwind state acc =
           let prev, via = Hashtbl.find parent state in
           let acc =
@@ -70,7 +82,8 @@ let reserve_path res path =
     path.p_hops
 
 (* Mirror image of [search]: BFS forward in time from (src, t_dep). *)
-let search_forward sys res ~src ~dst ~t_dep ~max_extra =
+let search_forward ?(obs = Sink.null) sys res ~src ~dst ~t_dep ~max_extra =
+  Sink.incr obs "pathfind.searches";
   if Ids.Fpga.equal src dst then Some { p_len = 0; p_hops = [] }
   else begin
     let dist = Topology.distance (System.topology sys) src dst in
@@ -82,9 +95,12 @@ let search_forward sys res ~src ~dst ~t_dep ~max_extra =
     let start = (Ids.Fpga.to_int src, t_dep) in
     Hashtbl.replace parent start (start, None);
     Queue.add start queue;
+    let expanded = ref 0 in
+    let blocked = ref 0 in
     let found = ref None in
     while !found = None && not (Queue.is_empty queue) do
       let (f, t) as state = Queue.pop queue in
+      incr expanded;
       if Ids.Fpga.to_int dst = f then found := Some state
       else if t < t_limit then begin
         let push next via =
@@ -100,13 +116,20 @@ let search_forward sys res ~src ~dst ~t_dep ~max_extra =
             then
               push
                 (Ids.Fpga.to_int c.System.dst, t + 1)
-                (Some c.System.channel_index))
+                (Some c.System.channel_index)
+            else incr blocked)
           (System.out_channels sys (Ids.Fpga.of_int f))
       end
     done;
+    Sink.add obs "pathfind.states_expanded" !expanded;
+    Sink.add obs "pathfind.congestion_blocked" !blocked;
     match !found with
-    | None -> None
+    | None ->
+        Sink.incr obs "pathfind.failures";
+        None
     | Some final ->
+        Sink.observe obs "pathfind.path_len" (snd final - t_dep);
+        Sink.observe obs "pathfind.extra_slots" (snd final - t_dep - dist);
         let rec unwind state acc =
           let prev, via = Hashtbl.find parent state in
           let acc =
@@ -174,7 +197,16 @@ let shortest_free_wire_path_keeping sys res ~src ~dst ~min_left =
 (* Dedicating the last wire of a channel would disconnect the multiplexed
    network, so keep one wire in reserve and only fall back to draining a
    channel completely when no alternative exists. *)
-let shortest_free_wire_path sys res ~src ~dst =
-  match shortest_free_wire_path_keeping sys res ~src ~dst ~min_left:1 with
-  | Some p -> Some p
-  | None -> shortest_free_wire_path_keeping sys res ~src ~dst ~min_left:0
+let shortest_free_wire_path ?(obs = Sink.null) sys res ~src ~dst =
+  Sink.incr obs "pathfind.hard_searches";
+  let result =
+    match shortest_free_wire_path_keeping sys res ~src ~dst ~min_left:1 with
+    | Some p -> Some p
+    | None ->
+        Sink.incr obs "pathfind.hard_fallbacks";
+        shortest_free_wire_path_keeping sys res ~src ~dst ~min_left:0
+  in
+  (match result with
+  | Some p -> Sink.observe obs "pathfind.hard_path_len" (List.length p)
+  | None -> Sink.incr obs "pathfind.failures");
+  result

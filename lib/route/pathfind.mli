@@ -18,6 +18,7 @@ type path = {
 }
 
 val search :
+  ?obs:Msched_obs.Sink.t ->
   Msched_arch.System.t ->
   Resource.t ->
   src:Ids.Fpga.t ->
@@ -32,6 +33,7 @@ val search :
 val reserve_path : Resource.t -> path -> unit
 
 val search_forward :
+  ?obs:Msched_obs.Sink.t ->
   Msched_arch.System.t ->
   Resource.t ->
   src:Ids.Fpga.t ->
@@ -46,6 +48,7 @@ val search_forward :
     [t + 1]. *)
 
 val shortest_free_wire_path :
+  ?obs:Msched_obs.Sink.t ->
   Msched_arch.System.t ->
   Resource.t ->
   src:Ids.Fpga.t ->

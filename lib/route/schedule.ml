@@ -80,6 +80,25 @@ let mean_transport_latency t =
     t.link_scheds;
   if !n = 0 then 0.0 else float_of_int !sum /. float_of_int !n
 
+(* Schedule-level metrics shared by the TIERS and forward schedulers:
+   frame length, hold-off totals, per-channel wire occupancy (multiplexed
+   peak plus dedicated) and per-FPGA pin usage distributions. *)
+let record_metrics obs t sys =
+  let module Sink = Msched_obs.Sink in
+  if Sink.enabled obs then begin
+    Sink.gauge obs "schedule.length" (float_of_int t.length);
+    Sink.gauge obs "schedule.est_speed_hz" (est_speed_hz t);
+    Sink.add obs "holdoff.cells" (List.length t.holdoffs);
+    Sink.add obs "holdoff.slots" (total_holdoff t);
+    Array.iteri
+      (fun c peak ->
+        Sink.observe obs "channel.occupancy" (peak + t.dedicated_per_channel.(c)))
+      t.peak_channel_usage;
+    Array.iter
+      (fun p -> Sink.observe obs "fpga.pins_used" p)
+      (pins_used_per_fpga t sys)
+  end
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "schedule: %d vclocks/frame (%s), %.1f kHz est. speed, %d links, %d \

@@ -75,4 +75,9 @@ val mean_transport_latency : t -> float
 (** Average arrival − departure over all transports (0 when there are
     none). *)
 
+val record_metrics : Msched_obs.Sink.t -> t -> Msched_arch.System.t -> unit
+(** Record schedule-level observability metrics (frame length and estimated
+    speed gauges, hold-off counters, per-channel occupancy and per-FPGA pin
+    histograms) into [obs].  No-op on a disabled sink. *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -4,6 +4,7 @@ module Placement = Msched_place.Placement
 module System = Msched_arch.System
 module Domain_analysis = Msched_mts.Domain_analysis
 module Latch_analysis = Msched_mts.Latch_analysis
+module Sink = Msched_obs.Sink
 
 let log = Logs.Src.create "msched.tiers" ~doc:"TIERS scheduler"
 
@@ -51,7 +52,15 @@ type routed_transport = {
 
 type routed_link = { rl_link : Link.t; rl_transports : routed_transport list }
 
-let schedule placement dom_analysis ?analysis ?(options = default_options) () =
+let mode_name = function
+  | Mts_virtual -> "virtual"
+  | Mts_hard -> "hard"
+  | Naive -> "naive"
+
+let schedule placement dom_analysis ?analysis ?(options = default_options)
+    ?(obs = Sink.null) () =
+  Sink.span obs ~args:[ ("mode", mode_name options.mode) ] "tiers"
+  @@ fun () ->
   let part = Placement.partition placement in
   let nl = Partition.netlist part in
   let sys = Placement.system placement in
@@ -67,35 +76,42 @@ let schedule placement dom_analysis ?analysis ?(options = default_options) () =
       fmt
   in
   let links =
+    Sink.span obs "tiers.link-build" @@ fun () ->
     Array.of_list
       (Link.build placement dom_analysis
          ~decompose_mts:(options.mode <> Mts_hard)
          ~hard_mts:(options.mode = Mts_hard))
   in
+  Sink.add obs "sched.links" (Array.length links);
+  Sink.add obs "sched.hard_links"
+    (Array.fold_left (fun n l -> if l.Link.hard then n + 1 else n) 0 links);
   let res = Resource.create sys in
 
   (* ---- Hard-routing pre-pass: dedicate wires for MTS crossings. ---- *)
   let hard_paths = Array.make (Array.length links) None in
-  Array.iteri
-    (fun i (l : Link.t) ->
-      if l.Link.hard then
-        match
-          Pathfind.shortest_free_wire_path sys res ~src:l.Link.src_fpga
-            ~dst:l.Link.dst_fpga
-        with
-        | Some channels ->
-            List.iter (fun channel -> Resource.dedicate res ~channel) channels;
-            hard_paths.(i) <- Some channels
-        | None ->
-            raise
-              (Unroutable
-                 (Format.asprintf
-                    "hard routing exhausted wires for %a" Link.pp l)))
-    links;
+  (Sink.span obs "tiers.hard-prepass" @@ fun () ->
+   Array.iteri
+     (fun i (l : Link.t) ->
+       if l.Link.hard then
+         match
+           Pathfind.shortest_free_wire_path ~obs sys res ~src:l.Link.src_fpga
+             ~dst:l.Link.dst_fpga
+         with
+         | Some channels ->
+             List.iter (fun channel -> Resource.dedicate res ~channel) channels;
+             hard_paths.(i) <- Some channels
+         | None ->
+             raise
+               (Unroutable
+                  (Format.asprintf
+                     "hard routing exhausted wires for %a" Link.pp l)))
+     links);
 
   (* ---- Processing order: links and latch groups, consumers first. ---- *)
   let nblocks = Partition.num_blocks part in
-  let order, graph_warnings = Sched_graph.order part la links in
+  let order, graph_warnings =
+    Sink.span obs "tiers.order" @@ fun () -> Sched_graph.order part la links
+  in
   List.iter (fun w -> warn "%s" w) graph_warnings;
 
   (* ---- ReadyTime requirement table, reverse coordinates. ---- *)
@@ -132,8 +148,8 @@ let schedule placement dom_analysis ?analysis ?(options = default_options) () =
   in
   let route_transport (l : Link.t) dom r_arr =
     match
-      Pathfind.search sys res ~src:l.Link.src_fpga ~dst:l.Link.dst_fpga ~r_arr
-        ~max_extra:options.max_extra_slots
+      Pathfind.search ~obs sys res ~src:l.Link.src_fpga ~dst:l.Link.dst_fpga
+        ~r_arr ~max_extra:options.max_extra_slots
     with
     | Some p ->
         Pathfind.reserve_path res p;
@@ -186,6 +202,8 @@ let schedule placement dom_analysis ?analysis ?(options = default_options) () =
           end
           else ts
     in
+    Sink.add obs "sched.transports" (List.length transports);
+    Sink.observe obs "fork.fanout" (List.length transports);
     let rdep_max =
       List.fold_left (fun acc t -> max acc t.rt_rdep) 0 transports
     in
@@ -246,12 +264,13 @@ let schedule placement dom_analysis ?analysis ?(options = default_options) () =
       g.Latch_analysis.input_deps;
     List.iter (bump_for_dep ~gate_side:true) g.Latch_analysis.local_deps
   in
-  List.iter
-    (fun node ->
-      match node with
-      | Sched_graph.Lnk i -> process_link i
-      | Sched_graph.Grp (b, gi) -> process_group b gi)
-    order;
+  (Sink.span obs "tiers.reverse-pass" @@ fun () ->
+   List.iter
+     (fun node ->
+       match node with
+       | Sched_graph.Lnk i -> process_link i
+       | Sched_graph.Grp (b, gi) -> process_group b gi)
+     order);
 
   (* ---- Schedule length. ---- *)
   let length = ref !lmax in
@@ -264,7 +283,8 @@ let schedule placement dom_analysis ?analysis ?(options = default_options) () =
   in
   bump_len (Resource.max_rslot res) (fun () ->
       "wire congestion (latest reserved slot)");
-  for b = 0 to nblocks - 1 do
+  (Sink.span obs "tiers.length" @@ fun () ->
+   for b = 0 to nblocks - 1 do
     let lab = la.(b) in
     let block = lab.Latch_analysis.block in
     List.iter
@@ -326,7 +346,7 @@ let schedule placement dom_analysis ?analysis ?(options = default_options) () =
           | Cell.Clock_source _ | Cell.Output), _ ->
             ())
       (Partition.cells_of_block part (Ids.Block.of_int b))
-  done;
+   done);
   let length_driver = !length_driver in
   let length = !length in
   let fwd r = length - r in
@@ -359,20 +379,25 @@ let schedule placement dom_analysis ?analysis ?(options = default_options) () =
   let holdoffs =
     if not options.latch_ordering then []
     else
-      Holdoff.compute part dom_analysis la
+      Sink.span obs "tiers.holdoff" @@ fun () ->
+      Holdoff.compute ~obs part dom_analysis la
         ~same_domain_only:options.same_domain_only ~length
         ~arrival:(Holdoff.arrival_oracle link_scheds)
   in
-  {
-    Schedule.length;
-    length_driver;
-    vclock_hz = System.vclock_hz sys;
-    link_scheds;
-    holdoffs;
-    peak_channel_usage = Resource.peak_usage res;
-    dedicated_per_channel =
-      Array.init
-        (Array.length (System.channels sys))
-        (fun c -> Resource.dedicated res ~channel:c);
-    warnings = List.rev !warnings;
-  }
+  let sched =
+    {
+      Schedule.length;
+      length_driver;
+      vclock_hz = System.vclock_hz sys;
+      link_scheds;
+      holdoffs;
+      peak_channel_usage = Resource.peak_usage res;
+      dedicated_per_channel =
+        Array.init
+          (Array.length (System.channels sys))
+          (fun c -> Resource.dedicated res ~channel:c);
+      warnings = List.rev !warnings;
+    }
+  in
+  Schedule.record_metrics obs sched sys;
+  sched

@@ -47,9 +47,12 @@ val schedule :
   Msched_mts.Domain_analysis.t ->
   ?analysis:Msched_mts.Latch_analysis.t array ->
   ?options:options ->
+  ?obs:Msched_obs.Sink.t ->
   unit ->
   Schedule.t
 (** Compile a placed design into a static schedule.  [analysis] (per-block
-    latch analysis) is computed on demand when not supplied.
+    latch analysis) is computed on demand when not supplied.  [obs] records
+    stage spans ([tiers.*]) plus scheduler/pathfinder/channel metrics (see
+    [docs/OBSERVABILITY.md]).
     @raise Unroutable when a transport cannot be placed within the slack
     budget (e.g. hard wires exhausted a channel). *)

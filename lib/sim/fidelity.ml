@@ -18,7 +18,9 @@ let perfect r =
   && r.violations.Emu_sim.hold_hazards = 0
   && r.violations.Emu_sim.causality_inversions = 0
 
-let compare_groups placement sched ~groups ?(seed = 42) () =
+let compare_groups placement sched ~groups ?(seed = 42)
+    ?(obs = Msched_obs.Sink.null) () =
+  Msched_obs.Sink.span obs "fidelity" @@ fun () ->
   let part = Placement.partition placement in
   let nl = Partition.netlist part in
   let stim = Stimulus.make ~seed nl in
@@ -63,6 +65,10 @@ let compare_groups placement sched ~groups ?(seed = 42) () =
         if !first = None then first := Some !frames
       end)
     groups;
+  Msched_obs.Sink.add obs "fidelity.frames" !frames;
+  Msched_obs.Sink.add obs "fidelity.mismatch_frames" !mismatch_frames;
+  Msched_obs.Sink.add obs "fidelity.state_mismatches" !state_mismatches;
+  Msched_obs.Sink.add obs "fidelity.ram_mismatches" !ram_mismatches;
   {
     frames = !frames;
     mismatch_frames = !mismatch_frames;
@@ -73,16 +79,16 @@ let compare_groups placement sched ~groups ?(seed = 42) () =
     settle_warnings = Ref_sim.settle_warnings golden;
   }
 
-let compare_edges placement sched ~edges ?seed () =
+let compare_edges placement sched ~edges ?seed ?obs () =
   compare_groups placement sched ~groups:(List.map (fun e -> [ e ]) edges)
-    ?seed ()
+    ?seed ?obs ()
 
-let compare_frames placement sched ~frames ?seed () =
-  compare_groups placement sched ~groups:frames ?seed ()
+let compare_frames placement sched ~frames ?seed ?obs () =
+  compare_groups placement sched ~groups:frames ?seed ?obs ()
 
-let compare_run placement sched ~clocks ~horizon_ps ?seed () =
+let compare_run placement sched ~clocks ~horizon_ps ?seed ?obs () =
   let edges = Edges.stream clocks ~horizon_ps in
-  compare_edges placement sched ~edges ?seed ()
+  compare_edges placement sched ~edges ?seed ?obs ()
 
 let pp_report ppf r =
   Format.fprintf ppf

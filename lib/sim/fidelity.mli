@@ -27,6 +27,7 @@ val compare_run :
   clocks:Msched_clocking.Clock.t list ->
   horizon_ps:int ->
   ?seed:int ->
+  ?obs:Msched_obs.Sink.t ->
   unit ->
   report
 
@@ -35,6 +36,7 @@ val compare_edges :
   Msched_route.Schedule.t ->
   edges:Msched_clocking.Edges.edge list ->
   ?seed:int ->
+  ?obs:Msched_obs.Sink.t ->
   unit ->
   report
 
@@ -43,6 +45,7 @@ val compare_frames :
   Msched_route.Schedule.t ->
   frames:Msched_clocking.Edges.edge list list ->
   ?seed:int ->
+  ?obs:Msched_obs.Sink.t ->
   unit ->
   report
 (** Multi-edge-frame comparison: the emulator executes one frame per edge

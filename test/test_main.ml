@@ -25,4 +25,5 @@ let () =
       ("verify", Test_verify.suite);
       ("forward", Test_forward.suite);
       ("compile", Test_compile.suite);
+      ("obs", Test_obs.suite);
     ]
