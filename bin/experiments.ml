@@ -105,8 +105,8 @@ let fidelity_one name scale seed horizon =
           Format.printf "%-8s L=%-4d %s: %a@." label sched.Schedule.length
             (if Fidelity.perfect r then "OK  " else "FAIL")
             Fidelity.pp_report r
-      | exception Tiers.Unroutable msg ->
-          Format.printf "%-8s unroutable: %s@." label msg)
+      | exception Tiers.Unroutable d ->
+          Format.printf "%-8s %a@." label Msched_diag.Diag.pp d)
     [
       ("virtual", Tiers.default_options);
       ("hard", Tiers.hard_options);

@@ -1,7 +1,10 @@
 (* File-based compiler driver: operate on netlists in the text format of
    Msched_netlist.Serial (extension-agnostic; see lib/netlist/serial.mli).
 
-     msched compile  design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
+     msched compile  design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive]
+                     [--forward] [--retries N] [--fallback-hard] [--max-extra N]
+                     [--diag-json FILE]
+     msched lint     design.mnl [--diag-json FILE]
      msched check    design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
      msched stats    design.mnl
      msched dot      design.mnl [--partition] > design.dot
@@ -11,13 +14,19 @@
 
    compile/check/simulate/profile accept --trace FILE to dump a Chrome
    trace-event JSON of the run ("-" = stdout); diagnostics of check go to
-   stderr so the trace stream stays parseable. *)
+   stderr so the trace stream stays parseable.
+
+   Exit codes (documented in docs/ROBUSTNESS.md): 0 success, 1 usage, 2
+   verification failure, 3 malformed input, 4 unroutable/infeasible, 5
+   unsupported construct, 6 internal error. *)
 
 module Netlist = Msched_netlist.Netlist
 module Serial = Msched_netlist.Serial
+module Lint = Msched_netlist.Lint
 module Dot = Msched_netlist.Dot
 module Stats = Msched_netlist.Stats
 module Ids = Msched_netlist.Ids
+module Diag = Msched_diag.Diag
 module Tiers = Msched_route.Tiers
 module Schedule = Msched_route.Schedule
 module Partition = Msched_partition.Partition
@@ -27,16 +36,70 @@ module Design_gen = Msched_gen.Design_gen
 module Sink = Msched_obs.Sink
 module Obs_export = Msched_obs.Export
 
-let read_netlist path =
+(* Errors are always printed; warnings are capped so a lint-unclean but
+   compilable design doesn't bury the result (full detail via --diag-json). *)
+let max_printed_warnings = 10
+
+let print_diags path diags =
+  let warnings = ref 0 in
+  List.iter
+    (fun d ->
+      if Diag.is_error d then Format.eprintf "%s: %a@." path Diag.pp d
+      else begin
+        incr warnings;
+        if !warnings <= max_printed_warnings then
+          Format.eprintf "%s: %a@." path Diag.pp d
+      end)
+    diags;
+  if !warnings > max_printed_warnings then
+    Format.eprintf "%s: … %d more warning(s) suppressed@." path
+      (!warnings - max_printed_warnings)
+
+let report_of diags =
+  let rep = Diag.Report.create () in
+  Diag.Report.add_list rep diags;
+  rep
+
+let read_text path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let text = really_input_string ic n in
   close_in ic;
-  match Serial.of_string text with
+  text
+
+let read_netlist path =
+  match Serial.of_string_diag (read_text path) with
   | Ok nl -> nl
-  | Error msg ->
-      Printf.eprintf "%s: %s\n" path msg;
-      exit 1
+  | Error diags ->
+      print_diags path diags;
+      exit (Diag.Report.exit_code (report_of diags))
+
+(* Every command runs under this wrapper: structured failures print their
+   diagnostic and exit with the documented class; nothing escapes as an
+   uncaught exception with a backtrace. *)
+let protect f =
+  let fail d =
+    Format.eprintf "%a@." Diag.pp d;
+    exit (Diag.exit_code d.Diag.code)
+  in
+  try f () with
+  | Msched.Compile.Compile_error d
+  | Tiers.Unroutable d
+  | Msched_route.Forward.Unsupported d
+  | Diag.Fail d ->
+      fail d
+  | Msched_netlist.Levelize.Combinational_cycle cells ->
+      fail
+        (Diag.error Diag.E_COMB_CYCLE
+           ?cell:
+             (match cells with c :: _ -> Some (Ids.Cell.to_int c) | [] -> None)
+           "combinational cycle through %d cells" (List.length cells))
+  | Netlist.Invalid e -> fail (Lint.diag_of_validation_error e)
+  | Sys_error msg -> fail (Diag.error Diag.E_PARSE "%s" msg)
+  | Stack_overflow | Out_of_memory ->
+      fail (Diag.error Diag.E_INTERNAL "resource exhaustion")
+  | (Failure _ | Invalid_argument _ | Not_found) as e ->
+      fail (Diag.error Diag.E_INTERNAL "%s" (Printexc.to_string e))
 
 let options_of ?(obs = Sink.null) pins weight =
   {
@@ -45,6 +108,14 @@ let options_of ?(obs = Sink.null) pins weight =
     max_block_weight = weight;
     obs;
   }
+
+let write_out path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  end
 
 (* A [--trace FILE] argument turns the sink on; without it every probe in
    the pipeline is a no-op. *)
@@ -64,21 +135,9 @@ let route_options_of mode =
       Printf.eprintf "unknown mode %s (virtual|hard|naive)\n" other;
       exit 1
 
-let compile_cmd path pins weight mode forward trace =
-  let nl = read_netlist path in
-  let obs = sink_of_trace trace in
-  let prepared =
-    Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
-  in
-  let ropts = route_options_of mode in
-  let sched =
-    if forward then Msched.Compile.route_forward ~obs prepared ropts
-    else Msched.Compile.route ~obs prepared ropts
-  in
-  (* With --trace -, the trace owns stdout; move the summary to stderr. *)
-  let ppf =
-    if trace = Some "-" then Format.err_formatter else Format.std_formatter
-  in
+let pp_compiled ppf pins (c : Msched.Compile.compiled) =
+  let prepared = c.Msched.Compile.prepared in
+  let sched = c.Msched.Compile.schedule in
   Format.fprintf ppf "design:   %a@." Netlist.pp_summary
     prepared.Msched.Compile.netlist;
   Format.fprintf ppf "partition: %a@." Partition.pp_summary
@@ -89,12 +148,79 @@ let compile_cmd path pins weight mode forward trace =
   Format.fprintf ppf "pins used (worst FPGA): %d / %d@."
     (Schedule.max_pins_used sched prepared.Msched.Compile.system)
     pins;
-  Format.fprintf ppf "channel utilization: %.1f%%, mean transport latency: %.1f@."
+  Format.fprintf ppf
+    "channel utilization: %.1f%%, mean transport latency: %.1f@."
     (100.0 *. Schedule.channel_utilization sched prepared.Msched.Compile.system)
-    (Schedule.mean_transport_latency sched);
-  write_trace trace obs
+    (Schedule.mean_transport_latency sched)
+
+let compile_cmd path pins weight mode forward retries fallback_hard max_extra
+    trace diag_json =
+  protect @@ fun () ->
+  let nl = read_netlist path in
+  let obs = sink_of_trace trace in
+  let ropts = route_options_of mode in
+  let ropts =
+    match max_extra with
+    | None -> ropts
+    | Some n -> { ropts with Tiers.max_extra_slots = n }
+  in
+  (* With --trace - or --diag-json -, that stream owns stdout; move the
+     human-readable summary to stderr. *)
+  let ppf =
+    if trace = Some "-" || diag_json = Some "-" then Format.err_formatter
+    else Format.std_formatter
+  in
+  if forward then begin
+    (* The forward scheduler has no retry ladder; it stays on the fail-fast
+       path (under [protect], so failures still exit with their class). *)
+    let prepared =
+      Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+    in
+    let sched = Msched.Compile.route_forward ~obs prepared ropts in
+    pp_compiled ppf pins
+      { Msched.Compile.prepared; Msched.Compile.schedule = sched };
+    write_trace trace obs
+  end
+  else begin
+    let options = { (options_of ~obs pins weight) with Msched.Compile.route = ropts } in
+    let r =
+      Msched.Compile.compile_resilient ~options ~max_retries:retries
+        ~fallback_hard nl
+    in
+    print_diags path r.Msched.Compile.diagnostics;
+    (match r.Msched.Compile.compiled with
+    | Some c -> pp_compiled ppf pins c
+    | None -> ());
+    if retries > 0 || fallback_hard || r.Msched.Compile.compiled = None then
+      Format.fprintf ppf "%a@." Msched.Compile.pp_resilient r;
+    (match diag_json with
+    | None -> ()
+    | Some p -> write_out p (Msched.Compile.resilient_to_json r ^ "\n"));
+    write_trace trace obs;
+    let code = Msched.Compile.resilient_exit_code r in
+    if code <> 0 then exit code
+  end
+
+let lint_cmd path diag_json =
+  protect @@ fun () ->
+  let text = read_text path in
+  let diags =
+    match Serial.of_string_diag text with
+    | Error diags -> diags
+    | Ok nl -> Lint.check nl
+  in
+  print_diags path diags;
+  let rep = report_of diags in
+  Format.eprintf "%d error(s), %d warning(s)@."
+    (List.length (Diag.Report.errors rep))
+    (List.length (Diag.Report.warnings rep));
+  (match diag_json with
+  | None -> ()
+  | Some p -> write_out p (Diag.Report.to_json rep ^ "\n"));
+  if Diag.Report.has_errors rep then exit (Diag.Report.exit_code rep)
 
 let check_cmd path pins weight mode forward trace =
+  protect @@ fun () ->
   let nl = read_netlist path in
   let obs = sink_of_trace trace in
   let prepared =
@@ -116,10 +242,12 @@ let check_cmd path pins weight mode forward trace =
   if not (Msched_check.Verify.is_clean report) then exit 2
 
 let stats_cmd path =
+  protect @@ fun () ->
   let nl = read_netlist path in
   Format.printf "%a@.%a@." Netlist.pp_summary nl Stats.pp (Stats.compute nl)
 
 let dot_cmd path partition weight =
+  protect @@ fun () ->
   let nl = read_netlist path in
   if partition then begin
     let part = Partition.make nl ~max_weight:weight () in
@@ -129,6 +257,7 @@ let dot_cmd path partition weight =
   else Format.printf "%a@." (Dot.output ?cluster:None) nl
 
 let simulate_cmd path horizon seed pins weight trace =
+  protect @@ fun () ->
   let nl = read_netlist path in
   let obs = sink_of_trace trace in
   let prepared =
@@ -169,6 +298,7 @@ let profile_netlist name scale =
         exit 1
 
 let profile_cmd name pins weight scale trace json =
+  protect @@ fun () ->
   let nl = profile_netlist name scale in
   let obs = Sink.create () in
   let prepared =
@@ -191,6 +321,7 @@ let profile_cmd name pins weight scale trace json =
   | Some path -> Obs_export.write_file path (Obs_export.json_string obs)
 
 let vcd_cmd path horizon seed =
+  protect @@ fun () ->
   let nl = read_netlist path in
   let sim = Msched_sim.Ref_sim.create nl (Msched_sim.Stimulus.make ~seed nl) in
   let clocks = Async_gen.clocks ~seed (Netlist.domains nl) in
@@ -225,6 +356,36 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Stimulus/clock se
 let partition_arg = Arg.(value & flag & info [ "partition" ] ~doc:"Cluster by partition block")
 let scale_arg = Arg.(value & opt float 0.1 & info [ "scale" ] ~doc:"Generator scale")
 
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry budget for the resilient driver: on failure, relax the \
+           slack budget, then rip-up & retry with perturbed seeds")
+
+let fallback_hard_arg =
+  Arg.(
+    value & flag
+    & info [ "fallback-hard" ]
+        ~doc:
+          "If all (re)tries fail, fall back from virtual MTS routing to \
+           dedicated hard wires (correct but slower)")
+
+let max_extra_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-extra" ] ~docv:"N"
+        ~doc:"Congestion slack budget per transport (overrides the mode default)")
+
+let diag_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diag-json" ] ~docv:"FILE"
+        ~doc:"Write the structured diagnostic/driver JSON (\"-\" = stdout)")
+
 let trace_arg =
   Arg.(
     value
@@ -257,7 +418,14 @@ let cmds =
     Cmd.v (Cmd.info "compile" ~doc:"Compile a netlist and print the schedule")
       Term.(
         const compile_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg
-        $ forward_arg $ trace_arg);
+        $ forward_arg $ retries_arg $ fallback_hard_arg $ max_extra_arg
+        $ trace_arg $ diag_json_arg);
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Parse and lint a netlist, reporting every problem (dangling \
+            nets, undriven inputs, combinational cycles, unknown domains)")
+      Term.(const lint_cmd $ path_arg $ diag_json_arg);
     Cmd.v
       (Cmd.info "check"
          ~doc:"Compile a netlist and statically verify the schedule")

@@ -9,6 +9,7 @@ module Transform = Msched_mts.Transform
 module Classify = Msched_mts.Classify
 module Tiers = Msched_route.Tiers
 module Sink = Msched_obs.Sink
+module Diag = Msched_diag.Diag
 
 type options = {
   max_block_weight : int;
@@ -51,7 +52,9 @@ type prepared = {
 
 type compiled = { prepared : prepared; schedule : Msched_route.Schedule.t }
 
-exception Compile_error of string
+exception Compile_error of Diag.t
+
+let compile_error d = raise (Compile_error d)
 
 let prepare ?(options = default_options) original =
   let obs = options.obs in
@@ -62,7 +65,7 @@ let prepare ?(options = default_options) original =
   in
   (match Transform.check_supported original analysis0 with
   | Ok () -> ()
-  | Error msg -> raise (Compile_error msg));
+  | Error msg -> compile_error (Diag.error Diag.E_UNSUPPORTED "%s" msg));
   let rewritten =
     Sink.span obs "mts-transform" @@ fun () ->
     Transform.master_slave ~obs original analysis0
@@ -74,12 +77,25 @@ let prepare ?(options = default_options) original =
   in
   let partition =
     Sink.span obs "partition" @@ fun () ->
-    Partition.make ~obs netlist ~max_weight:options.max_block_weight
-      ~seed:options.partition_seed ()
+    (* Partition capacity failures (a single cell heavier than the block
+       budget) are an infeasibility of the requested options, not an
+       internal error: E_CAPACITY, so sweeps and the resilient driver can
+       tell them apart from genuine bugs. *)
+    match
+      Partition.make ~obs netlist ~max_weight:options.max_block_weight
+        ~seed:options.partition_seed ()
+    with
+    | p -> p
+    | exception Invalid_argument msg ->
+        compile_error
+          (Diag.error Diag.E_CAPACITY
+             "partitioning with max_block_weight=%d failed: %s"
+             options.max_block_weight msg)
   in
   (match Partition.validate partition with
   | Ok () -> ()
-  | Error msg -> raise (Compile_error ("invalid partition: " ^ msg)));
+  | Error msg ->
+      compile_error (Diag.error Diag.E_INTERNAL "invalid partition: %s" msg));
   let topology =
     Topology.make_for_count options.topology_kind (Partition.num_blocks partition)
   in
@@ -130,10 +146,365 @@ let compile ?(options = default_options) nl =
   let schedule = route ~obs prepared options.route in
   if options.verify then begin
     let report = verify_schedule ~obs prepared schedule in
-    if not (Msched_check.Verify.is_clean report) then
-      raise
-        (Compile_error
-           (Format.asprintf "schedule fails static verification:@\n%a"
-              Msched_check.Verify.pp_report report))
+    if not (Msched_check.Verify.is_clean report) then begin
+      let hold_cells = Msched_check.Verify.hold_safety_cells report in
+      let code =
+        if Ids.Cell.Set.is_empty hold_cells then Diag.E_VERIFY
+        else Diag.E_HOLD_VIOLATION
+      in
+      let cell =
+        Option.map Ids.Cell.to_int (Ids.Cell.Set.min_elt_opt hold_cells)
+      in
+      compile_error
+        (Diag.error code ?cell "schedule fails static verification:@\n%a"
+           Msched_check.Verify.pp_report report)
+    end
   end;
   { prepared; schedule }
+
+(* ------------------------------------------------------------------ *)
+(* Resilient driver: lint first, then a bounded retry/escalation ladder
+   instead of the batch tool's fail-fast crash.  See docs/ROBUSTNESS.md. *)
+
+type attempt_outcome =
+  | Attempt_ok of { length : int; est_speed_hz : float }
+  | Attempt_failed of Diag.t
+
+type attempt = {
+  attempt_label : string;
+  attempt_mode : Tiers.mts_mode;
+  attempt_max_extra : int;
+  attempt_partition_seed : int;
+  attempt_place_seed : int;
+  attempt_outcome : attempt_outcome;
+}
+
+type degradation = {
+  requested_mode : Tiers.mts_mode;
+  achieved_mode : Tiers.mts_mode option;
+  requested_hz : float;
+      (** The virtual-clock rate: the Table-1 hardware ceiling of one
+          emulated cycle per virtual clock. *)
+  achieved_hz : float option;  (** vclock / frame length of the final schedule. *)
+  retries : int;  (** Attempts that failed before the outcome was decided. *)
+  fallback_nets : int;
+      (** Transports hard-routed on dedicated wires in the final schedule
+          (non-zero only after the hard fallback kicked in). *)
+  lint_errors : int;
+  lint_warnings : int;
+}
+
+type resilient = {
+  compiled : compiled option;
+  attempts : attempt list;
+  diagnostics : Diag.t list;
+  degradation : degradation;
+}
+
+let succeeded r = r.compiled <> None
+
+let degraded r =
+  match r.attempts with
+  | [] -> false
+  | _ -> succeeded r && r.degradation.retries > 0
+
+(* The escalation ladder.  Retry [i] of [n]: first pure slack relaxation
+   (the cheapest knob: longer frames instead of failure), then rip-up &
+   retry with perturbed partition/placement seeds on top of the relaxed
+   slack.  The optional final rung abandons virtual MTS routing for the
+   hard-wired baseline (paper Table 1 rows 8 vs 9: correct but slower and
+   pin-hungrier). *)
+let ladder options ~max_retries ~fallback_hard =
+  let base = options.route in
+  let relax i =
+    min (1 lsl 20) (max 1024 ((base.Tiers.max_extra_slots + 1) * (1 lsl i)))
+  in
+  let baseline = ("baseline", options) in
+  let retry i =
+    let label =
+      if i = 1 then "relax-slack" else Printf.sprintf "reseed-%d" (i - 1)
+    in
+    let route = { base with Tiers.max_extra_slots = relax i } in
+    let options =
+      if i = 1 then { options with route }
+      else
+        {
+          options with
+          route;
+          partition_seed = options.partition_seed + (7 * (i - 1));
+          place_seed = options.place_seed + (13 * (i - 1));
+        }
+    in
+    (label, options)
+  in
+  let fallback =
+    if not fallback_hard then []
+    else
+      [
+        ( "fallback-hard",
+          {
+            options with
+            route =
+              {
+                base with
+                Tiers.mode = Tiers.Mts_hard;
+                max_extra_slots = relax (max_retries + 1);
+              };
+          } );
+      ]
+  in
+  (baseline :: List.init max_retries (fun i -> retry (i + 1))) @ fallback
+
+let diag_of_exn = function
+  | Compile_error d | Tiers.Unroutable d | Msched_route.Forward.Unsupported d
+  | Diag.Fail d ->
+      d
+  | Netlist.Invalid e -> Lint.diag_of_validation_error e
+  | Levelize.Combinational_cycle cells ->
+      Diag.error Diag.E_COMB_CYCLE
+        ?cell:(match cells with c :: _ -> Some (Ids.Cell.to_int c) | [] -> None)
+        "combinational cycle through %d cells" (List.length cells)
+  | Invalid_argument msg -> Diag.error Diag.E_INTERNAL "invalid argument: %s" msg
+  | Failure msg -> Diag.error Diag.E_INTERNAL "failure: %s" msg
+  | e -> Diag.error Diag.E_INTERNAL "unexpected exception: %s" (Printexc.to_string e)
+
+let count_hard_transports (s : Msched_route.Schedule.t) =
+  List.fold_left
+    (fun acc ls ->
+      List.fold_left
+        (fun acc tr ->
+          if tr.Msched_route.Schedule.tr_hard then acc + 1 else acc)
+        acc ls.Msched_route.Schedule.ls_transports)
+    0 s.Msched_route.Schedule.link_scheds
+
+let compile_resilient ?(options = default_options) ?(max_retries = 3)
+    ?(fallback_hard = false) nl =
+  let obs = options.obs in
+  Sink.span obs "driver" @@ fun () ->
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  let lint =
+    Sink.span obs "driver.lint" @@ fun () ->
+    match Lint.check nl with
+    | ds -> ds
+    | exception e -> [ diag_of_exn e ]
+  in
+  List.iter push lint;
+  let lint_errors = List.length (Lint.errors lint) in
+  let lint_warnings = List.length lint - lint_errors in
+  Sink.add obs "driver.lint_errors" lint_errors;
+  Sink.add obs "driver.lint_warnings" lint_warnings;
+  let degradation0 =
+    {
+      requested_mode = options.route.Tiers.mode;
+      achieved_mode = None;
+      requested_hz = options.vclock_hz;
+      achieved_hz = None;
+      retries = 0;
+      fallback_nets = 0;
+      lint_errors;
+      lint_warnings;
+    }
+  in
+  if lint_errors > 0 then
+    {
+      compiled = None;
+      attempts = [];
+      diagnostics = List.rev !diags;
+      degradation = degradation0;
+    }
+  else begin
+    let attempts = ref [] in
+    let record a = attempts := a :: !attempts in
+    let rec run = function
+      | [] -> None
+      | (label, opts) :: rest ->
+          Sink.incr obs "driver.attempts";
+          let outcome =
+            Sink.span obs
+              ~args:
+                [
+                  ("label", label);
+                  ("mode", Tiers.mode_name opts.route.Tiers.mode);
+                ]
+              "driver.attempt"
+            @@ fun () ->
+            match compile ~options:opts nl with
+            | c ->
+                Ok
+                  ( c,
+                    Attempt_ok
+                      {
+                        length = c.schedule.Msched_route.Schedule.length;
+                        est_speed_hz =
+                          Msched_route.Schedule.est_speed_hz c.schedule;
+                      } )
+            | exception e -> Error (diag_of_exn e)
+          in
+          let finish attempt_outcome =
+            record
+              {
+                attempt_label = label;
+                attempt_mode = opts.route.Tiers.mode;
+                attempt_max_extra = opts.route.Tiers.max_extra_slots;
+                attempt_partition_seed = opts.partition_seed;
+                attempt_place_seed = opts.place_seed;
+                attempt_outcome;
+              }
+          in
+          (match outcome with
+          | Ok (c, ok) ->
+              finish ok;
+              Some (c, opts)
+          | Error d ->
+              finish (Attempt_failed d);
+              push d;
+              if rest <> [] then Sink.incr obs "driver.retries";
+              run rest)
+    in
+    let result = run (ladder options ~max_retries ~fallback_hard) in
+    let attempts = List.rev !attempts in
+    (* Attempts beyond the baseline; a lone failed baseline is 0 retries. *)
+    let retries = max 0 (List.length attempts - 1) in
+    let compiled, degradation =
+      match result with
+      | None ->
+          (None, { degradation0 with retries })
+      | Some (c, opts) ->
+          let fallback_nets =
+            if opts.route.Tiers.mode = options.route.Tiers.mode then 0
+            else count_hard_transports c.schedule
+          in
+          Sink.add obs "driver.fallback_nets" fallback_nets;
+          ( Some c,
+            {
+              degradation0 with
+              achieved_mode = Some opts.route.Tiers.mode;
+              achieved_hz = Some (Msched_route.Schedule.est_speed_hz c.schedule);
+              retries;
+              fallback_nets;
+            } )
+    in
+    { compiled; attempts; diagnostics = List.rev !diags; degradation }
+  end
+
+(* ---- Reporting. ---- *)
+
+let pp_attempt ppf a =
+  let pp_outcome ppf = function
+    | Attempt_ok { length; est_speed_hz } ->
+        Format.fprintf ppf "ok: %d vclocks/frame, %.1f kHz" length
+          (est_speed_hz /. 1e3)
+    | Attempt_failed d -> Diag.pp ppf d
+  in
+  Format.fprintf ppf "%-13s mode=%-7s slack=%-7d seeds=%d/%d  %a"
+    a.attempt_label
+    (Tiers.mode_name a.attempt_mode)
+    a.attempt_max_extra a.attempt_partition_seed a.attempt_place_seed
+    pp_outcome a.attempt_outcome
+
+let pp_degradation ppf d =
+  Format.fprintf ppf
+    "requested: %s MTS routing at %.1f MHz vclock@\n\
+     achieved:  %s, %s emulation speed@\n\
+     retries: %d, hard-fallback transports: %d, lint: %d errors / %d warnings"
+    (Tiers.mode_name d.requested_mode)
+    (d.requested_hz /. 1e6)
+    (match d.achieved_mode with
+    | None -> "nothing (all attempts failed)"
+    | Some m -> Tiers.mode_name m ^ " MTS routing")
+    (match d.achieved_hz with
+    | None -> "no"
+    | Some hz -> Format.asprintf "%.1f kHz" (hz /. 1e3))
+    d.retries d.fallback_nets d.lint_errors d.lint_warnings
+
+let pp_resilient ppf r =
+  (match r.attempts with
+  | [] -> ()
+  | attempts ->
+      Format.fprintf ppf "attempts:@\n";
+      List.iter (fun a -> Format.fprintf ppf "  %a@\n" pp_attempt a) attempts);
+  Format.fprintf ppf "%a" pp_degradation r.degradation
+
+let resilient_to_json r =
+  let module J = Diag.Json in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  J.field b ~first "schema" (J.string "msched-driver-1");
+  J.field b ~first "status"
+    (J.string
+       (if not (succeeded r) then "failed"
+        else if degraded r then "degraded"
+        else "ok"));
+  let attempts_json =
+    let ab = Buffer.create 1024 in
+    Buffer.add_char ab '[';
+    List.iteri
+      (fun i a ->
+        if i > 0 then Buffer.add_char ab ',';
+        let af = ref true in
+        Buffer.add_char ab '{';
+        J.field ab ~first:af "label" (J.string a.attempt_label);
+        J.field ab ~first:af "mode" (J.string (Tiers.mode_name a.attempt_mode));
+        J.field ab ~first:af "max_extra_slots"
+          (string_of_int a.attempt_max_extra);
+        J.field ab ~first:af "partition_seed"
+          (string_of_int a.attempt_partition_seed);
+        J.field ab ~first:af "place_seed" (string_of_int a.attempt_place_seed);
+        (match a.attempt_outcome with
+        | Attempt_ok { length; est_speed_hz } ->
+            J.field ab ~first:af "ok" "true";
+            J.field ab ~first:af "length" (string_of_int length);
+            J.field ab ~first:af "est_speed_hz"
+              (Printf.sprintf "%.6g" est_speed_hz)
+        | Attempt_failed d ->
+            J.field ab ~first:af "ok" "false";
+            J.field ab ~first:af "diagnostic" (Diag.to_json d));
+        Buffer.add_char ab '}')
+      r.attempts;
+    Buffer.add_char ab ']';
+    Buffer.contents ab
+  in
+  J.field b ~first "attempts" attempts_json;
+  let diags_json =
+    let rb = Buffer.create 1024 in
+    let rep = Diag.Report.create () in
+    Diag.Report.add_list rep r.diagnostics;
+    Diag.Report.to_json_buf rb rep;
+    Buffer.contents rb
+  in
+  J.field b ~first "diagnostics" diags_json;
+  let d = r.degradation in
+  let deg_json =
+    let db = Buffer.create 256 in
+    let df = ref true in
+    Buffer.add_char db '{';
+    J.field db ~first:df "requested_mode"
+      (J.string (Tiers.mode_name d.requested_mode));
+    (match d.achieved_mode with
+    | None -> ()
+    | Some m -> J.field db ~first:df "achieved_mode" (J.string (Tiers.mode_name m)));
+    J.field db ~first:df "requested_hz" (Printf.sprintf "%.6g" d.requested_hz);
+    (match d.achieved_hz with
+    | None -> ()
+    | Some hz -> J.field db ~first:df "achieved_hz" (Printf.sprintf "%.6g" hz));
+    J.field db ~first:df "retries" (string_of_int d.retries);
+    J.field db ~first:df "fallback_nets" (string_of_int d.fallback_nets);
+    J.field db ~first:df "lint_errors" (string_of_int d.lint_errors);
+    J.field db ~first:df "lint_warnings" (string_of_int d.lint_warnings);
+    Buffer.add_char db '}';
+    Buffer.contents db
+  in
+  J.field b ~first "degradation" deg_json;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Exit code of a resilient run: 0 on success (degraded or not), else the
+   class of the first error diagnostic. *)
+let resilient_exit_code r =
+  if succeeded r then 0
+  else
+    match List.filter Diag.is_error r.diagnostics with
+    | [] -> Diag.exit_code Diag.E_INTERNAL
+    | d :: _ -> Diag.exit_code d.Diag.code

@@ -48,7 +48,13 @@ type compiled = {
   schedule : Msched_route.Schedule.t;
 }
 
-exception Compile_error of string
+exception Compile_error of Msched_diag.Diag.t
+(** Structured pipeline failure: [E_UNSUPPORTED] for constructs the flow
+    cannot compile, [E_CAPACITY] for infeasible capacity settings,
+    [E_VERIFY] / [E_HOLD_VIOLATION] for schedules rejected by the static
+    verifier, [E_INTERNAL] for invariant breakage.  Routing failures
+    escape as {!Msched_route.Tiers.Unroutable} with their own diagnostic
+    payload. *)
 
 val prepare : ?options:options -> Netlist.t -> prepared
 (** @raise Compile_error on unsupported constructs (multi-domain RAM write
@@ -80,3 +86,87 @@ val compile : ?options:options -> Netlist.t -> compiled
     [options.verify] is set the schedule is then checked by
     {!Msched_check.Verify} and a violation raises {!Compile_error} with the
     pretty-printed report. *)
+
+(** {2 Resilient driver}
+
+    {!compile} is fail-fast: the first problem raises.  The resilient
+    driver never lets an exception escape.  It lints the netlist first
+    ({!Msched_netlist.Lint}), then walks a bounded escalation ladder:
+
+    + baseline attempt with the requested options;
+    + relax the congestion-slack budget ([max_extra_slots]);
+    + rip-up & retry: relaxed slack plus perturbed partition/placement
+      seeds (one rung per remaining retry);
+    + optionally ([fallback_hard]) abandon virtual MTS routing for the
+      hard-wired baseline — correct but slower and pin-hungrier (paper
+      Table 1 rows 8 vs 9).
+
+    Every attempt and diagnostic is recorded; the degradation report says
+    what was requested vs what was achieved.  Observability: span
+    [driver] / [driver.lint] / [driver.attempt], counters
+    [driver.attempts], [driver.retries], [driver.fallback_nets],
+    [driver.lint_errors], [driver.lint_warnings]. *)
+
+type attempt_outcome =
+  | Attempt_ok of { length : int; est_speed_hz : float }
+  | Attempt_failed of Msched_diag.Diag.t
+
+type attempt = {
+  attempt_label : string;  (** ["baseline"], ["relax-slack"], ["reseed-N"],
+                               ["fallback-hard"]. *)
+  attempt_mode : Msched_route.Tiers.mts_mode;
+  attempt_max_extra : int;
+  attempt_partition_seed : int;
+  attempt_place_seed : int;
+  attempt_outcome : attempt_outcome;
+}
+
+type degradation = {
+  requested_mode : Msched_route.Tiers.mts_mode;
+  achieved_mode : Msched_route.Tiers.mts_mode option;
+  requested_hz : float;  (** The virtual-clock ceiling (one emulated cycle
+                             per vclock). *)
+  achieved_hz : float option;  (** [est_speed_hz] of the final schedule. *)
+  retries : int;  (** Attempts made beyond the baseline. *)
+  fallback_nets : int;  (** Hard-wired transports in the final schedule when
+                            the hard fallback was taken; 0 otherwise. *)
+  lint_errors : int;
+  lint_warnings : int;
+}
+
+type resilient = {
+  compiled : compiled option;  (** [None] when every attempt failed or lint
+                                   found errors. *)
+  attempts : attempt list;  (** In execution order; empty when lint errors
+                                stopped the run before any attempt. *)
+  diagnostics : Msched_diag.Diag.t list;
+      (** Lint findings plus one diagnostic per failed attempt. *)
+  degradation : degradation;
+}
+
+val compile_resilient :
+  ?options:options ->
+  ?max_retries:int ->
+  ?fallback_hard:bool ->
+  Netlist.t ->
+  resilient
+(** Never raises (any unexpected exception becomes an [E_INTERNAL]
+    diagnostic).  [max_retries] (default 3) bounds the escalation rungs
+    after the baseline attempt; [fallback_hard] (default [false]) appends
+    the hard-routing rung. *)
+
+val succeeded : resilient -> bool
+val degraded : resilient -> bool
+(** Succeeded, but not on the baseline attempt. *)
+
+val resilient_exit_code : resilient -> int
+(** 0 on success (even degraded); otherwise the
+    {!Msched_diag.Diag.exit_code} class of the first error diagnostic. *)
+
+val pp_attempt : Format.formatter -> attempt -> unit
+val pp_degradation : Format.formatter -> degradation -> unit
+val pp_resilient : Format.formatter -> resilient -> unit
+
+val resilient_to_json : resilient -> string
+(** Stable JSON document (schema ["msched-driver-1"]) with status,
+    attempts, diagnostics and the degradation report. *)

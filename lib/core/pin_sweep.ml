@@ -29,9 +29,13 @@ let sweep ?(options = Compile.default_options) ?(weights = default_weights)
           Compile.pins_per_fpga = generous_pins;
         }
       in
+      (* Only a capacity infeasibility of this weight point is skippable;
+         anything else (unsupported construct, internal error) is a real
+         failure of the sweep's input and must propagate. *)
       match Compile.prepare ~options nl with
-      | exception Compile.Compile_error _ -> None
-      | exception Invalid_argument _ -> None
+      | exception Compile.Compile_error d
+        when d.Msched_diag.Diag.code = Msched_diag.Diag.E_CAPACITY ->
+          None
       | prepared ->
           let part = prepared.Compile.partition in
           let pins_hard =

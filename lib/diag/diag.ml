@@ -1,0 +1,258 @@
+(* Typed compiler diagnostics.
+
+   This module sits below every other msched library (it depends on
+   nothing), so the culprit context carries raw integer ids rather than the
+   strongly-typed ids of Msched_netlist.Ids; callers convert with
+   [Ids.X.to_int] at the raise/record site.  The numeric ids round-trip
+   into the JSON report unchanged, which is what external tooling wants
+   anyway. *)
+
+type code =
+  | E_PARSE
+  | E_MALFORMED_NET
+  | E_UNDRIVEN
+  | E_DANGLING
+  | E_COMB_CYCLE
+  | E_UNKNOWN_DOMAIN
+  | E_ARITY
+  | E_UNSUPPORTED
+  | E_CAPACITY
+  | E_UNROUTABLE
+  | E_HOLD_VIOLATION
+  | E_VERIFY
+  | E_INTERNAL
+
+let code_name = function
+  | E_PARSE -> "E_PARSE"
+  | E_MALFORMED_NET -> "E_MALFORMED_NET"
+  | E_UNDRIVEN -> "E_UNDRIVEN"
+  | E_DANGLING -> "E_DANGLING"
+  | E_COMB_CYCLE -> "E_COMB_CYCLE"
+  | E_UNKNOWN_DOMAIN -> "E_UNKNOWN_DOMAIN"
+  | E_ARITY -> "E_ARITY"
+  | E_UNSUPPORTED -> "E_UNSUPPORTED"
+  | E_CAPACITY -> "E_CAPACITY"
+  | E_UNROUTABLE -> "E_UNROUTABLE"
+  | E_HOLD_VIOLATION -> "E_HOLD_VIOLATION"
+  | E_VERIFY -> "E_VERIFY"
+  | E_INTERNAL -> "E_INTERNAL"
+
+let all_codes =
+  [
+    E_PARSE;
+    E_MALFORMED_NET;
+    E_UNDRIVEN;
+    E_DANGLING;
+    E_COMB_CYCLE;
+    E_UNKNOWN_DOMAIN;
+    E_ARITY;
+    E_UNSUPPORTED;
+    E_CAPACITY;
+    E_UNROUTABLE;
+    E_HOLD_VIOLATION;
+    E_VERIFY;
+    E_INTERNAL;
+  ]
+
+let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
+
+(* Process exit codes, one per diagnostic class (documented in
+   docs/ROBUSTNESS.md; keep the three in sync with bin/msched_cli.ml).
+   2 is the historical "verification failed" exit of `msched check`. *)
+let exit_code = function
+  | E_VERIFY | E_HOLD_VIOLATION -> 2
+  | E_PARSE | E_MALFORMED_NET | E_UNDRIVEN | E_DANGLING | E_COMB_CYCLE
+  | E_UNKNOWN_DOMAIN | E_ARITY ->
+      3
+  | E_UNROUTABLE | E_CAPACITY -> 4
+  | E_UNSUPPORTED -> 5
+  | E_INTERNAL -> 6
+
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+type context = {
+  net : int option;
+  cell : int option;
+  domain : int option;
+  fpga : int option;
+  block : int option;
+  slack : int option;  (** Slot budget that was exceeded, when known. *)
+  culprit : string option;  (** Human-readable net/cell name. *)
+}
+
+let no_context =
+  {
+    net = None;
+    cell = None;
+    domain = None;
+    fpga = None;
+    block = None;
+    slack = None;
+    culprit = None;
+  }
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  ctx : context;
+}
+
+let make ?net ?cell ?domain ?fpga ?block ?slack ?culprit severity code message
+    =
+  {
+    code;
+    severity;
+    message;
+    ctx = { net; cell; domain; fpga; block; slack; culprit };
+  }
+
+let error ?net ?cell ?domain ?fpga ?block ?slack ?culprit code fmt =
+  Format.kasprintf
+    (make ?net ?cell ?domain ?fpga ?block ?slack ?culprit Error code)
+    fmt
+
+let warning ?net ?cell ?domain ?fpga ?block ?slack ?culprit code fmt =
+  Format.kasprintf
+    (make ?net ?cell ?domain ?fpga ?block ?slack ?culprit Warning code)
+    fmt
+
+let is_error d = d.severity = Error
+
+let pp_context ppf ctx =
+  let item name = function
+    | None -> ()
+    | Some v -> Format.fprintf ppf " %s=%d" name v
+  in
+  item "net" ctx.net;
+  item "cell" ctx.cell;
+  item "domain" ctx.domain;
+  item "fpga" ctx.fpga;
+  item "block" ctx.block;
+  item "slack" ctx.slack;
+  match ctx.culprit with
+  | None -> ()
+  | Some c -> Format.fprintf ppf " culprit=%s" c
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]: %s%a" (severity_name d.severity)
+    (code_name d.code) d.message pp_context d.ctx
+
+exception Fail of t
+(** Structured escape hatch for contexts that must unwind (deep inside a
+    scheduler pass).  Catch at the driver/CLI boundary. *)
+
+let fail ?net ?cell ?domain ?fpga ?block ?slack ?culprit code fmt =
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Fail (make ?net ?cell ?domain ?fpga ?block ?slack ?culprit Error code message)))
+    fmt
+
+(* ---- JSON (hand-emitted, schema "msched-diag-1"; mirrors the style of
+   Msched_obs.Export so no JSON library is pulled in). ---- *)
+
+module Json = struct
+  let escape b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let string s =
+    let b = Buffer.create (String.length s + 8) in
+    escape b s;
+    Buffer.contents b
+
+  let field b ~first name value =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    escape b name;
+    Buffer.add_char b ':';
+    Buffer.add_string b value
+end
+
+let to_json_buf b d =
+  let first = ref true in
+  Buffer.add_char b '{';
+  Json.field b ~first "code" (Json.string (code_name d.code));
+  Json.field b ~first "severity" (Json.string (severity_name d.severity));
+  Json.field b ~first "message" (Json.string d.message);
+  Json.field b ~first "exit_code" (string_of_int (exit_code d.code));
+  let opt name = function
+    | None -> ()
+    | Some v -> Json.field b ~first name (string_of_int v)
+  in
+  opt "net" d.ctx.net;
+  opt "cell" d.ctx.cell;
+  opt "domain" d.ctx.domain;
+  opt "fpga" d.ctx.fpga;
+  opt "block" d.ctx.block;
+  opt "slack" d.ctx.slack;
+  (match d.ctx.culprit with
+  | None -> ()
+  | Some c -> Json.field b ~first "culprit" (Json.string c));
+  Buffer.add_char b '}'
+
+let to_json d =
+  let b = Buffer.create 256 in
+  to_json_buf b d;
+  Buffer.contents b
+
+(* ---- Accumulating report. ---- *)
+
+module Report = struct
+  type diag = t
+
+  type t = { mutable rev_diags : diag list }
+
+  let create () = { rev_diags = [] }
+  let add r d = r.rev_diags <- d :: r.rev_diags
+  let add_list r ds = List.iter (add r) ds
+  let to_list r = List.rev r.rev_diags
+  let errors r = List.filter is_error (to_list r)
+  let warnings r = List.filter (fun d -> not (is_error d)) (to_list r)
+  let has_errors r = List.exists is_error r.rev_diags
+  let is_empty r = r.rev_diags = []
+  let count r = List.length r.rev_diags
+
+  (* Exit code of the most severe error class present (the smallest
+     numeric exit wins ties arbitrarily but deterministically: we take the
+     first error's class in discovery order). *)
+  let exit_code r =
+    match errors r with [] -> 0 | d :: _ -> exit_code d.code
+
+  let pp ppf r =
+    match to_list r with
+    | [] -> Format.pp_print_string ppf "no diagnostics"
+    | ds ->
+        Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf ds
+
+  let to_json_buf b r =
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i d ->
+        if i > 0 then Buffer.add_char b ',';
+        to_json_buf b d)
+      (to_list r);
+    Buffer.add_char b ']'
+
+  let to_json r =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\"schema\":\"msched-diag-1\",\"diagnostics\":";
+    to_json_buf b r;
+    Buffer.add_char b '}';
+    Buffer.contents b
+end

@@ -1,0 +1,28 @@
+(** Netlist lint: collect {e all} problems of a design as structured
+    diagnostics instead of crashing on the first.
+
+    Three layers of defence, shallowest first:
+
+    + {!Serial.of_string_diag} — parse errors, one diagnostic per bad line
+      (with recovery), plus accumulated structural validation;
+    + {!Netlist.Builder.validate_all} — every structural error of a
+      builder graph ([E_UNDRIVEN], [E_ARITY], [E_UNKNOWN_DOMAIN], ...);
+    + {!check} (this module) — properties finalize does not enforce:
+      combinational cycles, dangling nets, unclocked domains.
+
+    Run by [Compile.compile_resilient] before [prepare] so malformed
+    designs are reported wholesale rather than dying mid-pipeline. *)
+
+val diag_of_validation_error :
+  Netlist.validation_error -> Msched_diag.Diag.t
+(** Stable mapping from finalize-time validation errors to diagnostic
+    codes (e.g. [Undriven_net] → [E_UNDRIVEN]). *)
+
+val check : Netlist.t -> Msched_diag.Diag.t list
+(** Lint a frozen (already structurally valid) netlist.  Combinational
+    cycles are errors; dangling nets, clockless [Dom_clock] cells and
+    unused domains are warnings.  Returns diagnostics in deterministic
+    discovery order — never raises. *)
+
+val errors : Msched_diag.Diag.t list -> Msched_diag.Diag.t list
+val has_errors : Msched_diag.Diag.t list -> bool

@@ -287,6 +287,27 @@ module Builder = struct
         check_domain d
     | Cell.Output -> expect 1
 
+  (* Accumulating variant of the finalize-time checks: every structural
+     error in the builder graph (one per cell at most, plus every undriven
+     net), in deterministic id order, without raising.  [Lint] maps these
+     onto diagnostic codes. *)
+  let validate_all b =
+    let cells = Array.of_list (List.rev b.bcells) in
+    let errs = ref [] in
+    Array.iter
+      (fun c ->
+        match check_cell b.ndomains c with
+        | () -> ()
+        | exception Invalid e -> errs := e :: !errs)
+      cells;
+    for i = 0 to b.nnets - 1 do
+      match Hashtbl.find_opt b.pnets i with
+      | Some { pdriver = Some _; _ } -> ()
+      | Some { pdriver = None; _ } | None ->
+          errs := Undriven_net (Ids.Net.of_int i) :: !errs
+    done;
+    List.rev !errs
+
   let finalize b =
     let domain_names = Array.of_list (List.rev b.bdomains) in
     let cells = Array.of_list (List.rev b.bcells) in
@@ -335,4 +356,14 @@ module Builder = struct
               })
     in
     { design_name = b.bname; domain_names; cells; nets; clock_sources }
+
+  let finalize_result b =
+    match validate_all b with
+    | [] -> (
+        (* The accumulating pass mirrors finalize's checks; a raise here
+           would mean they diverged, so surface it rather than mask it. *)
+        match finalize b with
+        | nl -> Ok nl
+        | exception Invalid e -> Error [ e ])
+    | errs -> Error errs
 end

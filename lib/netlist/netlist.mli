@@ -171,6 +171,16 @@ module Builder : sig
     unit ->
     unit
 
+  val validate_all : t -> validation_error list
+  (** Every structural error of the builder graph (bad arities, missing
+      triggers, unknown domains — at most one per cell — plus every
+      undriven net), in deterministic id order.  Never raises; [[]] iff
+      {!finalize} would succeed. *)
+
   val finalize : t -> netlist
   (** Freeze and validate. @raise Invalid on a malformed design. *)
+
+  val finalize_result : t -> (netlist, validation_error list) result
+  (** Like {!finalize} but collects {e all} validation errors instead of
+      raising on the first. *)
 end

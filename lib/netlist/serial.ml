@@ -79,9 +79,16 @@ let to_string nl = Format.asprintf "%a" output nl
 
 exception Parse of int * string
 
-let of_string text =
-  let b = ref (Netlist.Builder.create ()) in
-  let nets : (int, Ids.Net.t) Hashtbl.t = Hashtbl.create 256 in
+(* Mutable parse state shared by the fail-fast and the diagnostic-collecting
+   entry points.  A `design' directive resets the builder (matching the
+   historical behavior of one design per file). *)
+type pstate = {
+  mutable b : Netlist.Builder.t;
+  nets : (int, Ids.Net.t) Hashtbl.t;
+}
+
+let process_line st lineno tokens =
+  let nets = st.nets in
   let net lineno id =
     match Hashtbl.find_opt nets id with
     | Some n -> n
@@ -98,16 +105,15 @@ let of_string text =
     | [ "net"; n ] -> Cell.Net_trigger (net lineno (int lineno n))
     | _ -> raise (Parse (lineno, "expected `dom <d>' or `net <n>'"))
   in
-  let process lineno tokens =
-    match tokens with
+  match tokens with
     | [] -> ()
     | "#" :: _ -> ()
-    | [ "design"; name ] -> b := Netlist.Builder.create ~design_name:name ()
+    | [ "design"; name ] -> st.b <- Netlist.Builder.create ~design_name:name ()
     | [ "domain"; name ] ->
-        let (_ : Ids.Dom.t) = Netlist.Builder.add_domain !b name in
+        let (_ : Ids.Dom.t) = Netlist.Builder.add_domain st.b name in
         ()
     | [ "net"; id; name ] ->
-        let n = Netlist.Builder.fresh_net !b ~name () in
+        let n = Netlist.Builder.fresh_net st.b ~name () in
         Hashtbl.replace nets (int lineno id) n
     | "input" :: name :: out :: rest ->
         let domain =
@@ -116,17 +122,17 @@ let of_string text =
           | [ "domain"; d ] -> Some (dom lineno d)
           | _ -> raise (Parse (lineno, "bad input line"))
         in
-        Netlist.Builder.add_input_to !b ~name ?domain
+        Netlist.Builder.add_input_to st.b ~name ?domain
           ~output:(net lineno (int lineno out))
           ()
     | [ "clocksource"; d; out ] ->
-        Netlist.Builder.add_clock_source_to !b (dom lineno d)
+        Netlist.Builder.add_clock_source_to st.b (dom lineno d)
           ~output:(net lineno (int lineno out))
     | "gate" :: kind :: name :: out :: ins -> (
         match gate_of_name kind with
         | None -> raise (Parse (lineno, "unknown gate kind " ^ kind))
         | Some g ->
-            Netlist.Builder.add_gate_to !b ~name g
+            Netlist.Builder.add_gate_to st.b ~name g
               (List.map (fun i -> net lineno (int lineno i)) ins)
               ~output:(net lineno (int lineno out)))
     | [ "latch"; name; out; data; t0; t1; pol ] ->
@@ -136,13 +142,13 @@ let of_string text =
           | "low" -> false
           | _ -> raise (Parse (lineno, "latch polarity must be high|low"))
         in
-        Netlist.Builder.add_latch_to !b ~name ~active_high
+        Netlist.Builder.add_latch_to st.b ~name ~active_high
           ~data:(net lineno (int lineno data))
           ~gate:(parse_trigger lineno [ t0; t1 ])
           ~output:(net lineno (int lineno out))
           ()
     | [ "ff"; name; out; data; t0; t1 ] ->
-        Netlist.Builder.add_flip_flop_to !b ~name
+        Netlist.Builder.add_flip_flop_to st.b ~name
           ~data:(net lineno (int lineno data))
           ~clock:(parse_trigger lineno [ t0; t1 ])
           ~output:(net lineno (int lineno out))
@@ -174,37 +180,79 @@ let of_string text =
               (we, wdata, waddr, raddr)
           | _ -> raise (Parse (lineno, "bad ram pins"))
         in
-        Netlist.Builder.add_ram_to !b ~name ~addr_bits:a ~write_enable:we
+        Netlist.Builder.add_ram_to st.b ~name ~addr_bits:a ~write_enable:we
           ~write_data:wdata ~write_addr:waddr ~read_addr:raddr
           ~clock:(parse_trigger lineno trig)
           ~output:(net lineno (int lineno out))
           ()
     | [ "output"; name; input ] ->
         let (_ : Ids.Cell.t) =
-          Netlist.Builder.add_output !b ~name (net lineno (int lineno input))
+          Netlist.Builder.add_output st.b ~name (net lineno (int lineno input))
         in
         ()
     | tok :: _ -> raise (Parse (lineno, "unknown directive " ^ tok))
-  in
-  match
-    String.split_on_char '\n' text
-    |> List.iteri (fun i line ->
-           let tokens =
-             String.split_on_char ' ' (String.trim line)
-             |> List.filter (fun s -> s <> "")
-           in
-           match tokens with
-           | t :: _ when String.length t > 0 && t.[0] = '#' -> ()
-           | _ -> process (i + 1) tokens)
-  with
+
+let iter_lines text f =
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let tokens =
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (fun s -> s <> "")
+         in
+         match tokens with
+         | t :: _ when String.length t > 0 && t.[0] = '#' -> ()
+         | _ -> f (i + 1) tokens)
+
+let of_string text =
+  let st = { b = Netlist.Builder.create (); nets = Hashtbl.create 256 } in
+  match iter_lines text (process_line st) with
   | () -> (
-      match Netlist.Builder.finalize !b with
+      match Netlist.Builder.finalize st.b with
       | nl -> Ok nl
       | exception Netlist.Invalid e ->
           Error (Format.asprintf "validation: %a" Netlist.pp_validation_error e))
   | exception Parse (lineno, msg) ->
       Error (Printf.sprintf "line %d: %s" lineno msg)
   | exception Invalid_argument msg -> Error msg
+
+(* Diagnostic-collecting parse: one diagnostic per bad line (the line is
+   skipped and parsing continues, so one typo does not hide the rest), then
+   the accumulating structural validation of [Builder.finalize_result].
+   Skipped lines can cascade (a skipped `net' makes later users of that id
+   fail too), so the count is capped. *)
+let max_parse_diags = 100
+
+let of_string_diag text =
+  let module Diag = Msched_diag.Diag in
+  let st = { b = Netlist.Builder.create (); nets = Hashtbl.create 256 } in
+  let rev_diags = ref [] in
+  let ndiags = ref 0 in
+  let truncated = ref false in
+  let push d =
+    if !ndiags < max_parse_diags then begin
+      rev_diags := d :: !rev_diags;
+      incr ndiags
+    end
+    else truncated := true
+  in
+  iter_lines text (fun lineno tokens ->
+      match process_line st lineno tokens with
+      | () -> ()
+      | exception Parse (l, m) ->
+          push (Diag.error Diag.E_PARSE "line %d: %s" l m)
+      | exception Netlist.Invalid e -> push (Lint.diag_of_validation_error e)
+      | exception Invalid_argument m ->
+          push (Diag.error Diag.E_MALFORMED_NET "line %d: %s" lineno m));
+  if !truncated then
+    push
+      (Diag.error Diag.E_PARSE "more than %d parse errors; rest suppressed"
+         max_parse_diags);
+  let parse_diags = List.rev !rev_diags in
+  if parse_diags <> [] then Error parse_diags
+  else
+    match Netlist.Builder.finalize_result st.b with
+    | Ok nl -> Ok nl
+    | Error errs -> Error (List.map Lint.diag_of_validation_error errs)
 
 let of_string_exn text =
   match of_string text with Ok nl -> nl | Error msg -> failwith msg

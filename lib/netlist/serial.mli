@@ -26,7 +26,16 @@ val to_string : Netlist.t -> string
 val output : Format.formatter -> Netlist.t -> unit
 
 val of_string : string -> (Netlist.t, string) result
-(** Parse and validate. The error carries a line number and reason. *)
+(** Parse and validate, stopping at the first problem. The error carries a
+    line number and reason. *)
+
+val of_string_diag :
+  string -> (Netlist.t, Msched_diag.Diag.t list) result
+(** Lint-grade parse: collects {e all} problems instead of stopping at the
+    first.  Bad lines each yield an [E_PARSE] (or [E_MALFORMED_NET] /
+    builder-validation) diagnostic and are skipped; if every line parses,
+    structural validation runs accumulating ([E_UNDRIVEN], [E_ARITY], ...).
+    Never raises; [Error] lists are non-empty and in discovery order. *)
 
 val of_string_exn : string -> Netlist.t
 (** @raise Failure on a parse error. *)

@@ -5,8 +5,9 @@ module System = Msched_arch.System
 module Domain_analysis = Msched_mts.Domain_analysis
 module Latch_analysis = Msched_mts.Latch_analysis
 module Sink = Msched_obs.Sink
+module Diag = Msched_diag.Diag
 
-exception Unsupported of string
+exception Unsupported of Diag.t
 
 (* Availability of a value at a block terminal, forward slots.  Built from
    the block's origin tables: local frame-start paths, link arrivals plus
@@ -19,7 +20,10 @@ type avail_env = {
 let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
     ?(obs = Sink.null) () =
   if options.Tiers.mode = Tiers.Mts_hard then
-    raise (Unsupported "forward scheduler has no hard-routing mode");
+    raise
+      (Unsupported
+         (Diag.error Diag.E_UNSUPPORTED
+            "forward scheduler has no hard-routing mode"));
   Sink.span obs "forward" @@ fun () ->
   let part = Placement.partition placement in
   let nl = Partition.netlist part in
@@ -176,7 +180,14 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
           | None ->
               raise
                 (Tiers.Unroutable
-                   (Format.asprintf "forward: no path for %a" Link.pp l)))
+                   (Diag.error Diag.E_UNROUTABLE
+                      ~net:(Ids.Net.to_int l.Link.net)
+                      ~fpga:(Ids.Fpga.to_int l.Link.dst_fpga)
+                      ~block:(Ids.Block.to_int l.Link.dst_block)
+                      ~slack:(dep + options.Tiers.max_extra_slots)
+                      ~culprit:(Netlist.net nl l.Link.net).Netlist.net_name
+                      "forward: no path for %a within slack budget %d" Link.pp
+                      l options.Tiers.max_extra_slots)))
         doms
     in
     let transports =

@@ -14,7 +14,8 @@
     can lengthen the critical path — the reason the original Virtual Wires
     work went reverse.  The [scheduler-duel] ablation quantifies this. *)
 
-exception Unsupported of string
+exception Unsupported of Msched_diag.Diag.t
+(** Structured [E_UNSUPPORTED] diagnostic. *)
 
 val schedule :
   Msched_place.Placement.t ->

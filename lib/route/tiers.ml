@@ -5,6 +5,7 @@ module System = Msched_arch.System
 module Domain_analysis = Msched_mts.Domain_analysis
 module Latch_analysis = Msched_mts.Latch_analysis
 module Sink = Msched_obs.Sink
+module Diag = Msched_diag.Diag
 
 let log = Logs.Src.create "msched.tiers" ~doc:"TIERS scheduler"
 
@@ -39,7 +40,7 @@ let naive_options =
     latch_ordering = false;
   }
 
-exception Unroutable of string
+exception Unroutable of Diag.t
 
 (* Internal result of routing one link, in reverse coordinates. *)
 type routed_transport = {
@@ -103,7 +104,11 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
          | None ->
              raise
                (Unroutable
-                  (Format.asprintf
+                  (Diag.error Diag.E_CAPACITY
+                     ~net:(Ids.Net.to_int l.Link.net)
+                     ~fpga:(Ids.Fpga.to_int l.Link.src_fpga)
+                     ~block:(Ids.Block.to_int l.Link.src_block)
+                     ~culprit:(Netlist.net nl l.Link.net).Netlist.net_name
                      "hard routing exhausted wires for %a" Link.pp l)))
      links);
 
@@ -163,7 +168,14 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
     | None ->
         raise
           (Unroutable
-             (Format.asprintf "no path for %a within slack budget" Link.pp l))
+             (Diag.error Diag.E_UNROUTABLE
+                ~net:(Ids.Net.to_int l.Link.net)
+                ~fpga:(Ids.Fpga.to_int l.Link.dst_fpga)
+                ~block:(Ids.Block.to_int l.Link.dst_block)
+                ~slack:(r_arr + options.max_extra_slots)
+                ~culprit:(Netlist.net nl l.Link.net).Netlist.net_name
+                "no path for %a within slack budget %d" Link.pp l
+                options.max_extra_slots))
   in
   let debug = Sys.getenv_opt "MSCHED_DEBUG_TIERS" <> None in
   let process_link xi =

@@ -37,10 +37,16 @@ type options = {
 val default_options : options
 (** [Mts_virtual], everything on, [max_extra_slots = 4096]. *)
 
+val mode_name : mts_mode -> string
+(** ["virtual"], ["hard"], ["naive"]. *)
+
 val hard_options : options
 val naive_options : options
 
-exception Unroutable of string
+exception Unroutable of Msched_diag.Diag.t
+(** The payload is a structured diagnostic ([E_UNROUTABLE] for slack-budget
+    exhaustion, [E_CAPACITY] for wire/pin exhaustion) carrying the culprit
+    net, destination FPGA/block and the slack budget that was exceeded. *)
 
 val schedule :
   Msched_place.Placement.t ->

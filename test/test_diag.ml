@@ -1,0 +1,293 @@
+(* The structured-diagnostics layer (Msched_diag), the netlist lint, the
+   lint-grade parser and the resilient compilation driver. *)
+
+module Diag = Msched_diag.Diag
+module Netlist = Msched_netlist.Netlist
+module Serial = Msched_netlist.Serial
+module Lint = Msched_netlist.Lint
+module Ids = Msched_netlist.Ids
+module Tiers = Msched_route.Tiers
+module Design_gen = Msched_gen.Design_gen
+module Sink = Msched_obs.Sink
+module Compile = Msched.Compile
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---- Diag core. ---- *)
+
+let test_code_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Diag.code_name c ^ " roundtrips")
+        true
+        (Diag.code_of_name (Diag.code_name c) = Some c))
+    Diag.all_codes;
+  Alcotest.(check bool) "unknown name" true (Diag.code_of_name "E_NOPE" = None)
+
+let test_exit_codes () =
+  (* The documented classes: 2 verification, 3 malformed input, 4
+     infeasible, 5 unsupported, 6 internal. *)
+  Alcotest.(check int) "verify" 2 (Diag.exit_code Diag.E_VERIFY);
+  Alcotest.(check int) "hold" 2 (Diag.exit_code Diag.E_HOLD_VIOLATION);
+  Alcotest.(check int) "parse" 3 (Diag.exit_code Diag.E_PARSE);
+  Alcotest.(check int) "undriven" 3 (Diag.exit_code Diag.E_UNDRIVEN);
+  Alcotest.(check int) "unroutable" 4 (Diag.exit_code Diag.E_UNROUTABLE);
+  Alcotest.(check int) "capacity" 4 (Diag.exit_code Diag.E_CAPACITY);
+  Alcotest.(check int) "unsupported" 5 (Diag.exit_code Diag.E_UNSUPPORTED);
+  Alcotest.(check int) "internal" 6 (Diag.exit_code Diag.E_INTERNAL);
+  List.iter
+    (fun c ->
+      let e = Diag.exit_code c in
+      Alcotest.(check bool)
+        (Diag.code_name c ^ " exit in 2..6")
+        true
+        (e >= 2 && e <= 6))
+    Diag.all_codes
+
+let test_report_accumulates () =
+  let rep = Diag.Report.create () in
+  Alcotest.(check bool) "fresh report empty" true (Diag.Report.is_empty rep);
+  Diag.Report.add rep (Diag.warning Diag.E_DANGLING ~net:3 "w");
+  Diag.Report.add rep (Diag.error Diag.E_UNROUTABLE ~net:7 ~slack:2 "e1");
+  Diag.Report.add rep (Diag.error Diag.E_PARSE "e2");
+  Alcotest.(check int) "count" 3 (Diag.Report.count rep);
+  Alcotest.(check int) "errors" 2 (List.length (Diag.Report.errors rep));
+  Alcotest.(check int) "warnings" 1 (List.length (Diag.Report.warnings rep));
+  (* Exit class of the FIRST error. *)
+  Alcotest.(check int) "report exit code" 4 (Diag.Report.exit_code rep)
+
+let test_json_shape () =
+  let d =
+    Diag.error Diag.E_UNROUTABLE ~net:42 ~fpga:3 ~block:9 ~slack:5
+      ~culprit:"nfoo" "no path for %s" "nfoo"
+  in
+  let j = Diag.to_json d in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json has %s in %s" frag j)
+        true (contains j frag))
+    [
+      {|"code":"E_UNROUTABLE"|};
+      {|"severity":"error"|};
+      {|"exit_code":4|};
+      {|"net":42|};
+      {|"slack":5|};
+      {|"culprit":"nfoo"|};
+    ]
+
+(* ---- Lint. ---- *)
+
+let netlist_of_string_exn s =
+  match Serial.of_string s with
+  | Ok nl -> nl
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_lint_clean_design () =
+  let d = Design_gen.fig1 () in
+  let diags = Lint.check d.Design_gen.netlist in
+  Alcotest.(check bool)
+    (Format.asprintf "fig1 lints clean, got %d diags" (List.length diags))
+    true (diags = [])
+
+let test_lint_dangling () =
+  let nl =
+    netlist_of_string_exn
+      "design d\n\
+       domain clk\n\
+       net 0 A\n\
+       net 1 X\n\
+       net 2 F\n\
+       input A 0 domain 0\n\
+       gate buf X 1 0\n\
+       ff F 2 0 dom 0\n\
+       output O 2\n"
+  in
+  let diags = Lint.check nl in
+  Alcotest.(check bool) "dangling flagged" true
+    (List.exists (fun d -> d.Diag.code = Diag.E_DANGLING) diags);
+  Alcotest.(check bool) "dangling is a warning" false (Lint.has_errors diags)
+
+let test_lint_comb_cycle () =
+  let nl =
+    netlist_of_string_exn
+      "design d\n\
+       domain clk\n\
+       net 0 A\n\
+       net 1 X\n\
+       net 2 Y\n\
+       net 3 F\n\
+       input A 0 domain 0\n\
+       gate and X 1 0 2\n\
+       gate buf Y 2 1\n\
+       ff F 3 1 dom 0\n\
+       output O 3\n"
+  in
+  let diags = Lint.check nl in
+  Alcotest.(check bool) "cycle flagged as error" true
+    (List.exists
+       (fun d -> d.Diag.code = Diag.E_COMB_CYCLE && Diag.is_error d)
+       diags)
+
+let test_parser_recovers () =
+  (* Multiple independent problems, all reported in one pass. *)
+  let r =
+    Serial.of_string_diag
+      "design d\n\
+       domain clk\n\
+       net 0 A\n\
+       net zero B\n\
+       input A 0 domain 0\n\
+       wire Q 7 0\n\
+       gate buf Q 99 0\n\
+       output O 0\n"
+  in
+  match r with
+  | Ok _ -> Alcotest.fail "expected parse diagnostics"
+  | Error diags ->
+      Alcotest.(check bool)
+        (Format.asprintf "collected several problems, got %d" (List.length diags))
+        true
+        (List.length diags >= 3);
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "all parse-class" true
+            (Diag.exit_code d.Diag.code = 3))
+        diags
+
+let test_parser_diag_ok_on_good_input () =
+  let d = Design_gen.fig3_latch () in
+  let text = Serial.to_string d.Design_gen.netlist in
+  match Serial.of_string_diag text with
+  | Ok nl ->
+      Alcotest.(check int) "same cells"
+        (Netlist.num_cells d.Design_gen.netlist)
+        (Netlist.num_cells nl)
+  | Error diags ->
+      Alcotest.failf "good input rejected: %d diags" (List.length diags)
+
+(* ---- Resilient driver. ---- *)
+
+let test_resilient_clean_design () =
+  let d = Design_gen.fig1 () in
+  let r = Compile.compile_resilient d.Design_gen.netlist in
+  Alcotest.(check bool) "succeeded" true (Compile.succeeded r);
+  Alcotest.(check bool) "not degraded" false (Compile.degraded r);
+  Alcotest.(check int) "one attempt" 1 (List.length r.Compile.attempts);
+  Alcotest.(check int) "exit 0" 0 (Compile.resilient_exit_code r)
+
+let tight_options =
+  (* Few pins per FPGA (narrow channels) plus max_extra_slots = 0 starves
+     the router so the baseline attempt fails on congestion. *)
+  {
+    Compile.default_options with
+    Compile.max_block_weight = 32;
+    pins_per_fpga = 24;
+    route = { Tiers.default_options with Tiers.max_extra_slots = 0 };
+  }
+
+let congested_netlist () =
+  (Design_gen.random_multidomain ~seed:517 ~domains:3 ~modules:30
+     ~mts_fraction:0.3 ())
+    .Design_gen.netlist
+
+let test_resilient_retries_recover () =
+  let nl = congested_netlist () in
+  (* Baseline must fail for the scenario to be meaningful. *)
+  let r0 = Compile.compile_resilient ~options:tight_options ~max_retries:0 nl in
+  Alcotest.(check bool) "baseline fails" false (Compile.succeeded r0);
+  Alcotest.(check int) "unroutable exit class" 4 (Compile.resilient_exit_code r0);
+  Alcotest.(check bool) "failure diagnosed" true
+    (List.exists
+       (fun d -> d.Diag.code = Diag.E_UNROUTABLE || d.Diag.code = Diag.E_CAPACITY)
+       r0.Compile.diagnostics);
+  (* With retries, slack relaxation recovers. *)
+  let obs = Sink.create () in
+  let options = { tight_options with Compile.obs } in
+  let r = Compile.compile_resilient ~options ~max_retries:3 nl in
+  Alcotest.(check bool) "retries recover" true (Compile.succeeded r);
+  Alcotest.(check bool) "degraded" true (Compile.degraded r);
+  Alcotest.(check bool) "retries counted" true (r.Compile.degradation.Compile.retries >= 1);
+  Alcotest.(check bool) "achieved speed reported" true
+    (r.Compile.degradation.Compile.achieved_hz <> None);
+  Alcotest.(check bool) "driver.retries counter" true
+    (Sink.counter obs "driver.retries" >= 1);
+  Alcotest.(check bool) "driver.attempts counter" true
+    (Sink.counter obs "driver.attempts" >= 2);
+  Alcotest.(check bool) "driver span recorded" true
+    (List.exists (fun s -> s.Sink.sp_name = "driver") (Sink.spans obs))
+
+let test_resilient_hard_fallback () =
+  let nl = congested_netlist () in
+  let r =
+    Compile.compile_resilient ~options:tight_options ~max_retries:0
+      ~fallback_hard:true nl
+  in
+  Alcotest.(check bool) "fallback succeeds" true (Compile.succeeded r);
+  Alcotest.(check bool) "achieved mode is hard" true
+    (r.Compile.degradation.Compile.achieved_mode = Some Tiers.Mts_hard);
+  Alcotest.(check bool) "fallback transports counted" true
+    (r.Compile.degradation.Compile.fallback_nets > 0);
+  Alcotest.(check int) "exit 0 when degraded" 0 (Compile.resilient_exit_code r)
+
+let test_resilient_lint_stops () =
+  (* A combinational cycle is a lint error: no attempt should run. *)
+  let nl =
+    netlist_of_string_exn
+      "design d\n\
+       domain clk\n\
+       net 0 A\n\
+       net 1 X\n\
+       net 2 Y\n\
+       net 3 F\n\
+       input A 0 domain 0\n\
+       gate and X 1 0 2\n\
+       gate buf Y 2 1\n\
+       ff F 3 1 dom 0\n\
+       output O 3\n"
+  in
+  let r = Compile.compile_resilient nl in
+  Alcotest.(check bool) "failed" false (Compile.succeeded r);
+  Alcotest.(check int) "no attempts" 0 (List.length r.Compile.attempts);
+  Alcotest.(check int) "malformed-input exit class" 3
+    (Compile.resilient_exit_code r)
+
+let test_resilient_json () =
+  let nl = congested_netlist () in
+  let r =
+    Compile.compile_resilient ~options:tight_options ~max_retries:1 nl
+  in
+  let j = Compile.resilient_to_json r in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "driver json has %s" frag)
+        true (contains j frag))
+    [ {|"schema":"msched-driver-1"|}; {|"attempts":[|}; {|"degradation":{|} ]
+
+let suite =
+  [
+    Alcotest.test_case "code names roundtrip" `Quick test_code_roundtrip;
+    Alcotest.test_case "exit-code classes" `Quick test_exit_codes;
+    Alcotest.test_case "report accumulates" `Quick test_report_accumulates;
+    Alcotest.test_case "diagnostic JSON shape" `Quick test_json_shape;
+    Alcotest.test_case "lint: clean design" `Quick test_lint_clean_design;
+    Alcotest.test_case "lint: dangling net" `Quick test_lint_dangling;
+    Alcotest.test_case "lint: combinational cycle" `Quick test_lint_comb_cycle;
+    Alcotest.test_case "parser recovers per line" `Quick test_parser_recovers;
+    Alcotest.test_case "parser diag accepts good input" `Quick
+      test_parser_diag_ok_on_good_input;
+    Alcotest.test_case "resilient: clean design" `Quick
+      test_resilient_clean_design;
+    Alcotest.test_case "resilient: retries recover" `Quick
+      test_resilient_retries_recover;
+    Alcotest.test_case "resilient: hard fallback" `Quick
+      test_resilient_hard_fallback;
+    Alcotest.test_case "resilient: lint stops attempts" `Quick
+      test_resilient_lint_stops;
+    Alcotest.test_case "resilient: driver JSON" `Quick test_resilient_json;
+  ]

@@ -239,6 +239,83 @@ let test_matrix_double_booked_slot () =
   in
   check_kind_flagged "double-booked slot" prepared broken "channel-overbooked"
 
+(* ---- Front-end fuzz: corrupted serialized netlists must surface as
+   structured diagnostics, never as an unstructured exception.  This is the
+   no-escape guarantee of the resilient driver: whatever garbage the parser
+   lets through, [compile_resilient] returns a report. ---- *)
+
+let corrupt_text rng text =
+  let lines = String.split_on_char '\n' text in
+  let n = List.length lines in
+  let pick m = Random.State.int rng (max 1 m) in
+  match Random.State.int rng 4 with
+  | 0 ->
+      (* Truncate: keep a prefix of the file. *)
+      let keep = pick n in
+      String.concat "\n" (List.filteri (fun i _ -> i < keep) lines)
+  | 1 ->
+      (* Drop a random line (e.g. a driver or a net declaration). *)
+      let victim = pick n in
+      String.concat "\n" (List.filteri (fun i _ -> i <> victim) lines)
+  | 2 ->
+      (* Mutate one line into junk tokens. *)
+      let victim = pick n in
+      String.concat "\n"
+        (List.mapi
+           (fun i l -> if i = victim then "bogus directive " ^ l else l)
+           lines)
+  | _ ->
+      (* Scramble an integer token to a huge out-of-range id. *)
+      let victim = pick n in
+      String.concat "\n"
+        (List.mapi
+           (fun i l ->
+             if i <> victim then l
+             else
+               String.concat " "
+                 (List.map
+                    (fun tok ->
+                      match int_of_string_opt tok with
+                      | Some k -> string_of_int ((k * 7919) + 1_000_003)
+                      | None -> tok)
+                    (String.split_on_char ' ' l)))
+           lines)
+
+let prop_corrupted_netlists_never_escape =
+  QCheck.Test.make
+    ~name:"compile_resilient never lets corrupted input escape unstructured"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let d =
+        Design_gen.random_multidomain ~seed:(seed mod 97) ~domains:3
+          ~modules:6 ~mts_fraction:0.3 ()
+      in
+      let text =
+        corrupt_text rng (Msched_netlist.Serial.to_string d.Design_gen.netlist)
+      in
+      match Msched_netlist.Serial.of_string_diag text with
+      | Error diags ->
+          (* Structured rejection at parse time is a pass — but it must
+             carry at least one error diagnostic. *)
+          diags <> [] && Msched_netlist.Lint.has_errors diags
+      | Ok nl -> (
+          let options =
+            {
+              Msched.Compile.default_options with
+              Msched.Compile.max_block_weight = 32;
+            }
+          in
+          match Msched.Compile.compile_resilient ~options ~max_retries:1 nl with
+          | r ->
+              (* Either a schedule or error diagnostics explaining why not. *)
+              Msched.Compile.succeeded r
+              || List.exists Msched_diag.Diag.is_error r.Msched.Compile.diagnostics
+          | exception e ->
+              QCheck.Test.fail_reportf "escaped exception: %s"
+                (Printexc.to_string e)))
+
 let test_emulator_deterministic () =
   let prepared, sched = prepared_and_sched 75 in
   let r1 = fidelity prepared sched ~seed:75 in
@@ -261,4 +338,5 @@ let suite =
     Alcotest.test_case "matrix: double-booked slot" `Quick
       test_matrix_double_booked_slot;
     Alcotest.test_case "emulator deterministic" `Quick test_emulator_deterministic;
+    QCheck_alcotest.to_alcotest prop_corrupted_netlists_never_escape;
   ]

@@ -22,6 +22,7 @@ let () =
       ("vcd", Test_vcd.suite);
       ("frames", Test_frames.suite);
       ("injection", Test_injection.suite);
+      ("diag", Test_diag.suite);
       ("verify", Test_verify.suite);
       ("forward", Test_forward.suite);
       ("compile", Test_compile.suite);
