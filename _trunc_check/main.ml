@@ -1,0 +1,8 @@
+let () =
+  let bad = String.concat "\n" (List.init 150 (fun i -> Printf.sprintf "bogus%d" i)) in
+  match Msched_netlist.Serial.of_string_diag bad with
+  | Ok _ -> print_endline "ok?!"
+  | Error ds ->
+      Printf.printf "ndiags=%d\n" (List.length ds);
+      List.iter (fun d -> print_endline (Msched_diag.Diag.to_json d))
+        (List.filteri (fun i _ -> i >= List.length ds - 2) ds)
