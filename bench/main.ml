@@ -137,19 +137,48 @@ let pipeline_doc design =
   ignore (Msched.Compile.verify_schedule ~obs prepared virt);
   Msched_obs.Export.json_string obs
 
+(* A retry-exercising resilient run on a congested design: the driver's
+   ladder (and the warm-reroute machinery underneath it) shows up in the
+   exported [driver.*] / [reroute.*] counters, and the driver JSON itself
+   is embedded so attempt-by-attempt costs are diffable too. *)
+let driver_doc () =
+  let obs = Msched_obs.Sink.create () in
+  let congested =
+    (Design_gen.random_multidomain ~seed:517 ~domains:3 ~modules:30
+       ~mts_fraction:0.3 ())
+      .Design_gen.netlist
+  in
+  let tight =
+    {
+      Msched.Compile.default_options with
+      Msched.Compile.max_block_weight = 32;
+      pins_per_fpga = 24;
+      route = { Tiers.default_options with Tiers.max_extra_slots = 0 };
+      obs;
+    }
+  in
+  let r =
+    Msched.Compile.compile_resilient ~options:tight ~max_retries:2
+      ~fallback_hard:true congested
+  in
+  Printf.sprintf "{\"result\":%s,\"obs\":%s}"
+    (Msched.Compile.resilient_to_json r)
+    (Msched_obs.Export.json_string obs)
+
 let write_pipeline_json path =
   let doc =
     Printf.sprintf
-      "{\"schema\":\"msched-bench-pipeline-1\",\"designs\":{\"design1\":%s,\"design2\":%s}}\n"
-      (pipeline_doc design1) (pipeline_doc design2)
+      "{\"schema\":\"msched-bench-pipeline-2\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s}\n"
+      (pipeline_doc design1) (pipeline_doc design2) (driver_doc ())
   in
   let oc = open_out path in
   output_string oc doc;
   close_out oc;
   Printf.eprintf "wrote %s\n%!" path
 
-let () =
+let main () =
   write_pipeline_json "BENCH_pipeline.json";
+  if Array.exists (( = ) "--pipeline-only") Sys.argv then exit 0;
   let results = benchmark () in
   let window =
     match Notty_unix.winsize Unix.stdout with
@@ -163,3 +192,14 @@ let () =
       ~predictor:Measure.run results
   in
   Notty_unix.eol img |> Notty_unix.output_image
+
+(* Nothing escapes as an uncaught exception with a backtrace: any failure
+   is classified through the shared diagnostic mapper and exits with its
+   documented class — the same contract as the CLI. *)
+let () =
+  try main ()
+  with e ->
+    let module Diag = Msched_diag.Diag in
+    let d = Msched.Compile.diag_of_exn e in
+    Format.eprintf "bench: %a@." Diag.pp d;
+    exit (Diag.exit_code d.Diag.code)

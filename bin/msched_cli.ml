@@ -2,13 +2,13 @@
    Msched_netlist.Serial (extension-agnostic; see lib/netlist/serial.mli).
 
      msched compile  design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive]
-                     [--forward] [--retries N] [--fallback-hard] [--max-extra N]
-                     [--diag-json FILE]
+                     [--forward] [--retries N] [--fallback-hard] [--cold]
+                     [--max-extra N] [--diag-json FILE]
      msched lint     design.mnl [--diag-json FILE]
      msched check    design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
      msched stats    design.mnl
      msched dot      design.mnl [--partition] > design.dot
-     msched simulate design.mnl [--horizon PS] [--seed N]
+     msched simulate design.mnl [--horizon PS] [--seed N] [--diag-json FILE]
      msched profile  design.mnl|design1|design2|fig1|fig3|handshake [--trace FILE]
      msched gen      design1|design2|fig1|fig3|handshake [--scale F] > design.mnl
 
@@ -153,8 +153,8 @@ let pp_compiled ppf pins (c : Msched.Compile.compiled) =
     (100.0 *. Schedule.channel_utilization sched prepared.Msched.Compile.system)
     (Schedule.mean_transport_latency sched)
 
-let compile_cmd path pins weight mode forward retries fallback_hard max_extra
-    trace diag_json =
+let compile_cmd path pins weight mode forward retries fallback_hard cold
+    max_extra trace diag_json =
   protect @@ fun () ->
   let nl = read_netlist path in
   let obs = sink_of_trace trace in
@@ -185,7 +185,7 @@ let compile_cmd path pins weight mode forward retries fallback_hard max_extra
     let options = { (options_of ~obs pins weight) with Msched.Compile.route = ropts } in
     let r =
       Msched.Compile.compile_resilient ~options ~max_retries:retries
-        ~fallback_hard nl
+        ~fallback_hard ~reuse:(not cold) nl
     in
     print_diags path r.Msched.Compile.diagnostics;
     (match r.Msched.Compile.compiled with
@@ -256,28 +256,51 @@ let dot_cmd path partition weight =
   end
   else Format.printf "%a@." (Dot.output ?cluster:None) nl
 
-let simulate_cmd path horizon seed pins weight trace =
+let simulate_cmd path horizon seed pins weight trace diag_json =
+  (* Simulation-fidelity failures flow through the same structured
+     diagnostics as the static pipeline: any exception becomes its diag
+     (written to --diag-json before exiting with its class), and an
+     imperfect run exits with the verification class carrying
+     [Fidelity.diags_of_report]. *)
+  let emit diags =
+    match diag_json with
+    | None -> ()
+    | Some p -> write_out p (Diag.Report.to_json (report_of diags) ^ "\n")
+  in
   protect @@ fun () ->
-  let nl = read_netlist path in
-  let obs = sink_of_trace trace in
-  let prepared =
-    Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
-  in
-  let sched = Msched.Compile.route ~obs prepared Tiers.default_options in
-  let clocks =
-    Async_gen.clocks ~seed (Netlist.domains prepared.Msched.Compile.netlist)
-  in
-  let report =
-    Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
-      ~horizon_ps:horizon ~seed ~obs ()
-  in
-  let ppf =
-    if trace = Some "-" then Format.err_formatter else Format.std_formatter
-  in
-  Format.fprintf ppf "%a@.fidelity: %a@." Schedule.pp_summary sched
-    Fidelity.pp_report report;
-  write_trace trace obs;
-  if not (Fidelity.perfect report) then exit 2
+  try
+    let nl = read_netlist path in
+    let obs = sink_of_trace trace in
+    let prepared =
+      Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+    in
+    let sched = Msched.Compile.route ~obs prepared Tiers.default_options in
+    let clocks =
+      Async_gen.clocks ~seed (Netlist.domains prepared.Msched.Compile.netlist)
+    in
+    let report =
+      Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+        ~horizon_ps:horizon ~seed ~obs ()
+    in
+    let ppf =
+      if trace = Some "-" || diag_json = Some "-" then Format.err_formatter
+      else Format.std_formatter
+    in
+    Format.fprintf ppf "%a@.fidelity: %a@." Schedule.pp_summary sched
+      Fidelity.pp_report report;
+    let diags = Fidelity.diags_of_report report in
+    print_diags path diags;
+    emit diags;
+    write_trace trace obs;
+    if not (Fidelity.perfect report) then
+      exit (Diag.Report.exit_code (report_of diags))
+  with e ->
+    (* [exit] terminates before reaching here, so this catches genuine
+       failures only: classify, persist, exit with the class. *)
+    let d = Msched.Compile.diag_of_exn e in
+    emit [ d ];
+    Format.eprintf "%s: %a@." path Diag.pp d;
+    exit (Diag.exit_code d.Diag.code)
 
 (* [profile] accepts either a netlist file or a built-in generator name, so
    CI and quick profiling sessions need no intermediate file. *)
@@ -372,6 +395,15 @@ let fallback_hard_arg =
           "If all (re)tries fail, fall back from virtual MTS routing to \
            dedicated hard wires (correct but slower)")
 
+let cold_arg =
+  Arg.(
+    value & flag
+    & info [ "cold" ]
+        ~doc:
+          "Disable warm rerouting between retry rungs: every attempt \
+           re-searches all transports from scratch instead of replaying \
+           the previous attempt's routes (same schedules, more work)")
+
 let max_extra_arg =
   Arg.(
     value
@@ -418,8 +450,8 @@ let cmds =
     Cmd.v (Cmd.info "compile" ~doc:"Compile a netlist and print the schedule")
       Term.(
         const compile_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg
-        $ forward_arg $ retries_arg $ fallback_hard_arg $ max_extra_arg
-        $ trace_arg $ diag_json_arg);
+        $ forward_arg $ retries_arg $ fallback_hard_arg $ cold_arg
+        $ max_extra_arg $ trace_arg $ diag_json_arg);
     Cmd.v
       (Cmd.info "lint"
          ~doc:
@@ -439,7 +471,7 @@ let cmds =
     Cmd.v (Cmd.info "simulate" ~doc:"Compile and co-simulate against the golden model")
       Term.(
         const simulate_cmd $ path_arg $ horizon_arg $ seed_arg $ pins_arg
-        $ weight_arg $ trace_arg);
+        $ weight_arg $ trace_arg $ diag_json_arg);
     Cmd.v
       (Cmd.info "profile"
          ~doc:

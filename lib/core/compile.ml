@@ -8,6 +8,7 @@ module Latch_analysis = Msched_mts.Latch_analysis
 module Transform = Msched_mts.Transform
 module Classify = Msched_mts.Classify
 module Tiers = Msched_route.Tiers
+module Reroute = Msched_route.Reroute
 module Sink = Msched_obs.Sink
 module Diag = Msched_diag.Diag
 
@@ -128,39 +129,44 @@ let prepare ?(options = default_options) original =
     classification;
   }
 
-let route ?(obs = Sink.null) prepared route_options =
+let route ?(obs = Sink.null) ?reroute prepared route_options =
   Tiers.schedule prepared.placement prepared.analysis
-    ~analysis:prepared.latch_analysis ~options:route_options ~obs ()
+    ~analysis:prepared.latch_analysis ~options:route_options ~obs ?reroute ()
 
-let route_forward ?(obs = Sink.null) prepared route_options =
+let route_forward ?(obs = Sink.null) ?reroute prepared route_options =
   Msched_route.Forward.schedule prepared.placement prepared.analysis
-    ~analysis:prepared.latch_analysis ~options:route_options ~obs ()
+    ~analysis:prepared.latch_analysis ~options:route_options ~obs ?reroute ()
 
 let verify_schedule ?(obs = Sink.null) prepared sched =
   Msched_check.Verify.verify ~obs prepared.placement prepared.analysis sched
 
-let compile ?(options = default_options) nl =
+let verify_or_fail ~obs prepared schedule =
+  let report = verify_schedule ~obs prepared schedule in
+  if not (Msched_check.Verify.is_clean report) then begin
+    let hold_cells = Msched_check.Verify.hold_safety_cells report in
+    let code =
+      if Ids.Cell.Set.is_empty hold_cells then Diag.E_VERIFY
+      else Diag.E_HOLD_VIOLATION
+    in
+    let cell =
+      Option.map Ids.Cell.to_int (Ids.Cell.Set.min_elt_opt hold_cells)
+    in
+    compile_error
+      (Diag.error code ?cell "schedule fails static verification:@\n%a"
+         Msched_check.Verify.pp_report report)
+  end
+
+let compile_prepared ?(options = default_options) ?reroute prepared =
+  let obs = options.obs in
+  let schedule = route ~obs ?reroute prepared options.route in
+  if options.verify then verify_or_fail ~obs prepared schedule;
+  { prepared; schedule }
+
+let compile ?(options = default_options) ?reroute nl =
   let obs = options.obs in
   Sink.span obs "compile" @@ fun () ->
   let prepared = prepare ~options nl in
-  let schedule = route ~obs prepared options.route in
-  if options.verify then begin
-    let report = verify_schedule ~obs prepared schedule in
-    if not (Msched_check.Verify.is_clean report) then begin
-      let hold_cells = Msched_check.Verify.hold_safety_cells report in
-      let code =
-        if Ids.Cell.Set.is_empty hold_cells then Diag.E_VERIFY
-        else Diag.E_HOLD_VIOLATION
-      in
-      let cell =
-        Option.map Ids.Cell.to_int (Ids.Cell.Set.min_elt_opt hold_cells)
-      in
-      compile_error
-        (Diag.error code ?cell "schedule fails static verification:@\n%a"
-           Msched_check.Verify.pp_report report)
-    end
-  end;
-  { prepared; schedule }
+  compile_prepared ~options ?reroute prepared
 
 (* ------------------------------------------------------------------ *)
 (* Resilient driver: lint first, then a bounded retry/escalation ladder
@@ -176,6 +182,9 @@ type attempt = {
   attempt_max_extra : int;
   attempt_partition_seed : int;
   attempt_place_seed : int;
+  attempt_expansions : int;
+  attempt_reused : int;
+  attempt_ripped : int;
   attempt_outcome : attempt_outcome;
 }
 
@@ -189,7 +198,13 @@ type degradation = {
   retries : int;  (** Attempts that failed before the outcome was decided. *)
   fallback_nets : int;
       (** Transports hard-routed on dedicated wires in the final schedule
-          (non-zero only after the hard fallback kicked in). *)
+          beyond what the requested mode implies (per-net fallback residue,
+          or every MTS transport after the whole-schedule hard rung). *)
+  reused_transports : int;
+      (** Transports replayed from the reroute ledger across all attempts. *)
+  ripped_transports : int;
+      (** Ledger entries invalidated (anchor moved or slots taken) across
+          all attempts. *)
   lint_errors : int;
   lint_warnings : int;
 }
@@ -211,20 +226,22 @@ let degraded r =
 (* The escalation ladder.  Retry [i] of [n]: first pure slack relaxation
    (the cheapest knob: longer frames instead of failure), then rip-up &
    retry with perturbed partition/placement seeds on top of the relaxed
-   slack.  The optional final rung abandons virtual MTS routing for the
-   hard-wired baseline (paper Table 1 rows 8 vs 9: correct but slower and
-   pin-hungrier). *)
-let ladder options ~max_retries ~fallback_hard =
+   slack.  The hard fallback is handled separately by [compile_resilient]:
+   first per-net (only the unroutable residue moves to dedicated wires),
+   then — as a last resort — the whole-schedule hard baseline (paper
+   Table 1 rows 8 vs 9: correct but slower and pin-hungrier). *)
+let relax_slack options i =
+  min (1 lsl 20)
+    (max 1024 ((options.route.Tiers.max_extra_slots + 1) * (1 lsl i)))
+
+let ladder options ~max_retries =
   let base = options.route in
-  let relax i =
-    min (1 lsl 20) (max 1024 ((base.Tiers.max_extra_slots + 1) * (1 lsl i)))
-  in
   let baseline = ("baseline", options) in
   let retry i =
     let label =
       if i = 1 then "relax-slack" else Printf.sprintf "reseed-%d" (i - 1)
     in
-    let route = { base with Tiers.max_extra_slots = relax i } in
+    let route = { base with Tiers.max_extra_slots = relax_slack options i } in
     let options =
       if i = 1 then { options with route }
       else
@@ -237,23 +254,7 @@ let ladder options ~max_retries ~fallback_hard =
     in
     (label, options)
   in
-  let fallback =
-    if not fallback_hard then []
-    else
-      [
-        ( "fallback-hard",
-          {
-            options with
-            route =
-              {
-                base with
-                Tiers.mode = Tiers.Mts_hard;
-                max_extra_slots = relax (max_retries + 1);
-              };
-          } );
-      ]
-  in
-  (baseline :: List.init max_retries (fun i -> retry (i + 1))) @ fallback
+  baseline :: List.init max_retries (fun i -> retry (i + 1))
 
 let diag_of_exn = function
   | Compile_error d | Tiers.Unroutable d | Msched_route.Forward.Unsupported d
@@ -277,8 +278,13 @@ let count_hard_transports (s : Msched_route.Schedule.t) =
         acc ls.Msched_route.Schedule.ls_transports)
     0 s.Msched_route.Schedule.link_scheds
 
+(* Bound on per-net fallback iterations: each one hard-wires the residue
+   of the previous attempt, so a design that keeps producing fresh residue
+   is converging toward the whole-schedule hard rung anyway. *)
+let max_fallback_iters = 4
+
 let compile_resilient ?(options = default_options) ?(max_retries = 3)
-    ?(fallback_hard = false) nl =
+    ?(fallback_hard = false) ?(reuse = true) nl =
   let obs = options.obs in
   Sink.span obs "driver" @@ fun () ->
   let diags = ref [] in
@@ -302,6 +308,8 @@ let compile_resilient ?(options = default_options) ?(max_retries = 3)
       achieved_hz = None;
       retries = 0;
       fallback_nets = 0;
+      reused_transports = 0;
+      ripped_transports = 0;
       lint_errors;
       lint_warnings;
     }
@@ -314,66 +322,176 @@ let compile_resilient ?(options = default_options) ?(max_retries = 3)
       degradation = degradation0;
     }
   else begin
+    (* One reroute context for the whole ladder.  [reuse] keeps it warm
+       across attempts that share a partition/placement (baseline →
+       relax-slack, and the per-net fallback iterations); a seed change
+       invalidates the ledger, so reseed rungs start cold.  With
+       [reuse = false] every attempt starts cold — the differential-test
+       baseline. *)
+    let ctx = Reroute.create () in
+    (* Forced-hard keys survive context clears via this driver-side list,
+       so cold mode reaches the same per-net fallback state as warm. *)
+    let forced : Reroute.key list ref = ref [] in
+    let last_seeds = ref None in
+    (* [prepare] is deterministic in (netlist, options minus route), so
+       rungs that only touch the route options share the front-end. *)
+    let prepared_cache : (int * int, prepared) Hashtbl.t = Hashtbl.create 4 in
     let attempts = ref [] in
     let record a = attempts := a :: !attempts in
+    let run_attempt label opts =
+      Sink.incr obs "driver.attempts";
+      let seeds = (opts.partition_seed, opts.place_seed) in
+      let stale =
+        (not reuse)
+        || match !last_seeds with Some s -> s <> seeds | None -> false
+      in
+      if stale then Reroute.clear ctx;
+      last_seeds := Some seeds;
+      List.iter (Reroute.force_hard ctx) !forced;
+      let e0 = Reroute.expansions ctx in
+      let ru0 = Reroute.reused ctx in
+      let rp0 = Reroute.ripped ctx in
+      let outcome =
+        Sink.span obs
+          ~args:
+            [
+              ("label", label);
+              ("mode", Tiers.mode_name opts.route.Tiers.mode);
+            ]
+          "driver.attempt"
+        @@ fun () ->
+        match
+          let prepared =
+            match Hashtbl.find_opt prepared_cache seeds with
+            | Some p -> p
+            | None ->
+                let p = prepare ~options:opts nl in
+                Hashtbl.add prepared_cache seeds p;
+                p
+          in
+          compile_prepared ~options:opts ~reroute:ctx prepared
+        with
+        | c ->
+            Ok
+              ( c,
+                Attempt_ok
+                  {
+                    length = c.schedule.Msched_route.Schedule.length;
+                    est_speed_hz =
+                      Msched_route.Schedule.est_speed_hz c.schedule;
+                  } )
+        | exception e -> Error (diag_of_exn e)
+      in
+      record
+        {
+          attempt_label = label;
+          attempt_mode = opts.route.Tiers.mode;
+          attempt_max_extra = opts.route.Tiers.max_extra_slots;
+          attempt_partition_seed = opts.partition_seed;
+          attempt_place_seed = opts.place_seed;
+          attempt_expansions = Reroute.expansions ctx - e0;
+          attempt_reused = Reroute.reused ctx - ru0;
+          attempt_ripped = Reroute.ripped ctx - rp0;
+          attempt_outcome =
+            (match outcome with Ok (_, ok) -> ok | Error d -> Attempt_failed d);
+        };
+      outcome
+    in
     let rec run = function
       | [] -> None
-      | (label, opts) :: rest ->
-          Sink.incr obs "driver.attempts";
-          let outcome =
-            Sink.span obs
-              ~args:
-                [
-                  ("label", label);
-                  ("mode", Tiers.mode_name opts.route.Tiers.mode);
-                ]
-              "driver.attempt"
-            @@ fun () ->
-            match compile ~options:opts nl with
-            | c ->
-                Ok
-                  ( c,
-                    Attempt_ok
-                      {
-                        length = c.schedule.Msched_route.Schedule.length;
-                        est_speed_hz =
-                          Msched_route.Schedule.est_speed_hz c.schedule;
-                      } )
-            | exception e -> Error (diag_of_exn e)
-          in
-          let finish attempt_outcome =
-            record
-              {
-                attempt_label = label;
-                attempt_mode = opts.route.Tiers.mode;
-                attempt_max_extra = opts.route.Tiers.max_extra_slots;
-                attempt_partition_seed = opts.partition_seed;
-                attempt_place_seed = opts.place_seed;
-                attempt_outcome;
-              }
-          in
-          (match outcome with
-          | Ok (c, ok) ->
-              finish ok;
-              Some (c, opts)
+      | (label, opts) :: rest -> (
+          match run_attempt label opts with
+          | Ok (c, _) -> Some (c, opts)
           | Error d ->
-              finish (Attempt_failed d);
               push d;
               if rest <> [] then Sink.incr obs "driver.retries";
               run rest)
     in
-    let result = run (ladder options ~max_retries ~fallback_hard) in
+    let result = run (ladder options ~max_retries) in
+    (* Hard fallback, per net first: the residue the last attempt could
+       not route moves to dedicated wires; everything else stays on the
+       scheduled virtual network and replays warm.  Only when the residue
+       cannot be named (the failure was not an unroutable transport) or
+       refuses to converge does the whole schedule fall back to hard
+       routing. *)
+    let result =
+      if result <> None || not fallback_hard then result
+      else begin
+        let relaxed =
+          {
+            options with
+            route =
+              {
+                options.route with
+                Tiers.max_extra_slots = relax_slack options (max_retries + 1);
+              };
+          }
+        in
+        let rec per_net i =
+          if i > max_fallback_iters then None
+          else
+            match Reroute.failures ctx with
+            | [] -> None
+            | fails ->
+                List.iter
+                  (fun (k, _) ->
+                    Reroute.force_hard ctx k;
+                    forced := k :: !forced)
+                  fails;
+                Sink.add obs "driver.fallback_forced" (List.length fails);
+                let label =
+                  if i = 1 then "fallback-hard"
+                  else Printf.sprintf "fallback-hard-%d" i
+                in
+                (match run_attempt label relaxed with
+                | Ok (c, _) -> Some (c, relaxed)
+                | Error d ->
+                    push d;
+                    Sink.incr obs "driver.retries";
+                    per_net (i + 1))
+        in
+        match per_net 1 with
+        | Some _ as r -> r
+        | None -> (
+            (* Whole-schedule hard baseline: a different routing problem,
+               so the warm context is meaningless — start cold. *)
+            Reroute.clear ctx;
+            forced := [];
+            let hard_all =
+              {
+                relaxed with
+                route =
+                  { relaxed.route with Tiers.mode = Tiers.Mts_hard };
+              }
+            in
+            Sink.incr obs "driver.retries";
+            match run_attempt "fallback-hard-all" hard_all with
+            | Ok (c, _) -> Some (c, hard_all)
+            | Error d ->
+                push d;
+                None)
+      end
+    in
     let attempts = List.rev !attempts in
     (* Attempts beyond the baseline; a lone failed baseline is 0 retries. *)
     let retries = max 0 (List.length attempts - 1) in
+    let reused_transports = Reroute.reused ctx in
+    let ripped_transports = Reroute.ripped ctx in
+    Sink.add obs "driver.reused_transports" reused_transports;
+    Sink.add obs "driver.ripped_transports" ripped_transports;
     let compiled, degradation =
       match result with
       | None ->
-          (None, { degradation0 with retries })
+          ( None,
+            { degradation0 with retries; reused_transports; ripped_transports }
+          )
       | Some (c, opts) ->
           let fallback_nets =
-            if opts.route.Tiers.mode = options.route.Tiers.mode then 0
-            else count_hard_transports c.schedule
+            if
+              opts.route.Tiers.mode <> options.route.Tiers.mode
+              || Reroute.forced_hard_count ctx > 0
+            then count_hard_transports c.schedule
+            else 0
           in
           Sink.add obs "driver.fallback_nets" fallback_nets;
           ( Some c,
@@ -383,6 +501,8 @@ let compile_resilient ?(options = default_options) ?(max_retries = 3)
               achieved_hz = Some (Msched_route.Schedule.est_speed_hz c.schedule);
               retries;
               fallback_nets;
+              reused_transports;
+              ripped_transports;
             } )
     in
     { compiled; attempts; diagnostics = List.rev !diags; degradation }
@@ -397,17 +517,19 @@ let pp_attempt ppf a =
           (est_speed_hz /. 1e3)
     | Attempt_failed d -> Diag.pp ppf d
   in
-  Format.fprintf ppf "%-13s mode=%-7s slack=%-7d seeds=%d/%d  %a"
+  Format.fprintf ppf
+    "%-17s mode=%-7s slack=%-7d seeds=%d/%d reused=%d ripped=%d  %a"
     a.attempt_label
     (Tiers.mode_name a.attempt_mode)
     a.attempt_max_extra a.attempt_partition_seed a.attempt_place_seed
-    pp_outcome a.attempt_outcome
+    a.attempt_reused a.attempt_ripped pp_outcome a.attempt_outcome
 
 let pp_degradation ppf d =
   Format.fprintf ppf
     "requested: %s MTS routing at %.1f MHz vclock@\n\
      achieved:  %s, %s emulation speed@\n\
-     retries: %d, hard-fallback transports: %d, lint: %d errors / %d warnings"
+     retries: %d, hard-fallback transports: %d, reused/ripped: %d/%d, \
+     lint: %d errors / %d warnings"
     (Tiers.mode_name d.requested_mode)
     (d.requested_hz /. 1e6)
     (match d.achieved_mode with
@@ -416,7 +538,8 @@ let pp_degradation ppf d =
     (match d.achieved_hz with
     | None -> "no"
     | Some hz -> Format.asprintf "%.1f kHz" (hz /. 1e3))
-    d.retries d.fallback_nets d.lint_errors d.lint_warnings
+    d.retries d.fallback_nets d.reused_transports d.ripped_transports
+    d.lint_errors d.lint_warnings
 
 let pp_resilient ppf r =
   (match r.attempts with
@@ -452,6 +575,9 @@ let resilient_to_json r =
         J.field ab ~first:af "partition_seed"
           (string_of_int a.attempt_partition_seed);
         J.field ab ~first:af "place_seed" (string_of_int a.attempt_place_seed);
+        J.field ab ~first:af "expansions" (string_of_int a.attempt_expansions);
+        J.field ab ~first:af "reused" (string_of_int a.attempt_reused);
+        J.field ab ~first:af "ripped" (string_of_int a.attempt_ripped);
         (match a.attempt_outcome with
         | Attempt_ok { length; est_speed_hz } ->
             J.field ab ~first:af "ok" "true";
@@ -491,6 +617,10 @@ let resilient_to_json r =
     | Some hz -> J.field db ~first:df "achieved_hz" (Printf.sprintf "%.6g" hz));
     J.field db ~first:df "retries" (string_of_int d.retries);
     J.field db ~first:df "fallback_nets" (string_of_int d.fallback_nets);
+    J.field db ~first:df "reused_transports"
+      (string_of_int d.reused_transports);
+    J.field db ~first:df "ripped_transports"
+      (string_of_int d.ripped_transports);
     J.field db ~first:df "lint_errors" (string_of_int d.lint_errors);
     J.field db ~first:df "lint_warnings" (string_of_int d.lint_warnings);
     Buffer.add_char db '}';

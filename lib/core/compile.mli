@@ -62,13 +62,17 @@ val prepare : ?options:options -> Netlist.t -> prepared
 
 val route :
   ?obs:Msched_obs.Sink.t ->
+  ?reroute:Msched_route.Reroute.t ->
   prepared ->
   Msched_route.Tiers.options ->
   Msched_route.Schedule.t
-(** Reverse (TIERS) scheduling. *)
+(** Reverse (TIERS) scheduling.  With a [reroute] context the attempt runs
+    warm (ledger replay, congestion-history steering, deferred residue
+    collection) — see {!Msched_route.Tiers.schedule}. *)
 
 val route_forward :
   ?obs:Msched_obs.Sink.t ->
+  ?reroute:Msched_route.Reroute.t ->
   prepared ->
   Msched_route.Tiers.options ->
   Msched_route.Schedule.t
@@ -81,11 +85,27 @@ val verify_schedule :
   Msched_check.Verify.report
 (** Run the static verifier against a schedule routed from [prepared]. *)
 
-val compile : ?options:options -> Netlist.t -> compiled
-(** [prepare] followed by [route] with [options.route]; when
+val compile_prepared :
+  ?options:options -> ?reroute:Msched_route.Reroute.t -> prepared -> compiled
+(** [route] with [options.route] on an already-prepared front-end; when
     [options.verify] is set the schedule is then checked by
     {!Msched_check.Verify} and a violation raises {!Compile_error} with the
-    pretty-printed report. *)
+    pretty-printed report.  Lets callers (the resilient driver, ablation
+    sweeps) retry routing without re-partitioning and re-placing. *)
+
+val compile :
+  ?options:options ->
+  ?reroute:Msched_route.Reroute.t ->
+  Netlist.t ->
+  compiled
+(** [prepare] followed by {!compile_prepared}. *)
+
+val diag_of_exn : exn -> Msched_diag.Diag.t
+(** Map any pipeline exception onto its structured diagnostic
+    ([Compile_error] / [Unroutable] / [Unsupported] / [Diag.Fail] payloads
+    pass through; netlist validation errors, combinational cycles and
+    unexpected exceptions are classified).  This is the classifier the
+    resilient driver and the CLI/bench entry points share. *)
 
 (** {2 Resilient driver}
 
@@ -97,27 +117,46 @@ val compile : ?options:options -> Netlist.t -> compiled
     + relax the congestion-slack budget ([max_extra_slots]);
     + rip-up & retry: relaxed slack plus perturbed partition/placement
       seeds (one rung per remaining retry);
-    + optionally ([fallback_hard]) abandon virtual MTS routing for the
-      hard-wired baseline — correct but slower and pin-hungrier (paper
-      Table 1 rows 8 vs 9).
+    + optionally ([fallback_hard]) fall back to dedicated (hard) wires —
+      {e per net} first: only the unroutable residue the last attempt
+      recorded is hard-wired, the rest of the schedule stays virtual and
+      replays warm (rungs [fallback-hard], [fallback-hard-2], …); the
+      whole-schedule hard baseline ([fallback-hard-all], paper Table 1
+      rows 8 vs 9) runs only when the residue cannot be named or refuses
+      to converge.
+
+    Attempts share one {!Msched_route.Reroute.t} context: a rung that
+    keeps the partition/placement seeds replays the previous attempt's
+    routes from the ledger and re-searches only what changed, steered by
+    the accumulated congestion history.  [reuse:false] clears the context
+    before every attempt (cold — the differential-test baseline).
 
     Every attempt and diagnostic is recorded; the degradation report says
     what was requested vs what was achieved.  Observability: span
     [driver] / [driver.lint] / [driver.attempt], counters
     [driver.attempts], [driver.retries], [driver.fallback_nets],
-    [driver.lint_errors], [driver.lint_warnings]. *)
+    [driver.fallback_forced], [driver.reused_transports],
+    [driver.ripped_transports], [driver.lint_errors],
+    [driver.lint_warnings], plus the [reroute.*] family (see
+    [docs/OBSERVABILITY.md]). *)
 
 type attempt_outcome =
   | Attempt_ok of { length : int; est_speed_hz : float }
   | Attempt_failed of Msched_diag.Diag.t
 
 type attempt = {
-  attempt_label : string;  (** ["baseline"], ["relax-slack"], ["reseed-N"],
-                               ["fallback-hard"]. *)
+  attempt_label : string;
+      (** ["baseline"], ["relax-slack"], ["reseed-N"], ["fallback-hard"],
+          ["fallback-hard-N"], ["fallback-hard-all"]. *)
   attempt_mode : Msched_route.Tiers.mts_mode;
   attempt_max_extra : int;
   attempt_partition_seed : int;
   attempt_place_seed : int;
+  attempt_expansions : int;
+      (** Pathfinder states expanded during this attempt (warm reuse makes
+          this drop on retry rungs). *)
+  attempt_reused : int;  (** Transports replayed from the ledger. *)
+  attempt_ripped : int;  (** Stale ledger entries ripped up. *)
   attempt_outcome : attempt_outcome;
 }
 
@@ -129,7 +168,12 @@ type degradation = {
   achieved_hz : float option;  (** [est_speed_hz] of the final schedule. *)
   retries : int;  (** Attempts made beyond the baseline. *)
   fallback_nets : int;  (** Hard-wired transports in the final schedule when
-                            the hard fallback was taken; 0 otherwise. *)
+                            a hard fallback (per-net or whole-schedule) was
+                            taken; 0 otherwise. *)
+  reused_transports : int;
+      (** Transports replayed from the reroute ledger across all attempts
+          (0 under [reuse:false]). *)
+  ripped_transports : int;  (** Stale ledger entries ripped across attempts. *)
   lint_errors : int;
   lint_warnings : int;
 }
@@ -148,12 +192,17 @@ val compile_resilient :
   ?options:options ->
   ?max_retries:int ->
   ?fallback_hard:bool ->
+  ?reuse:bool ->
   Netlist.t ->
   resilient
 (** Never raises (any unexpected exception becomes an [E_INTERNAL]
     diagnostic).  [max_retries] (default 3) bounds the escalation rungs
     after the baseline attempt; [fallback_hard] (default [false]) appends
-    the hard-routing rung. *)
+    the per-net hard-fallback rungs (and the whole-schedule hard rung as a
+    last resort); [reuse] (default [true]) keeps the reroute context warm
+    across seed-compatible attempts — [false] re-searches every attempt
+    from scratch (same results, more work; used by the differential
+    tests). *)
 
 val succeeded : resilient -> bool
 val degraded : resilient -> bool

@@ -20,6 +20,7 @@ type code =
   | E_UNROUTABLE
   | E_HOLD_VIOLATION
   | E_VERIFY
+  | E_XDOMAIN_FANIN
   | E_INTERNAL
 
 let code_name = function
@@ -35,6 +36,7 @@ let code_name = function
   | E_UNROUTABLE -> "E_UNROUTABLE"
   | E_HOLD_VIOLATION -> "E_HOLD_VIOLATION"
   | E_VERIFY -> "E_VERIFY"
+  | E_XDOMAIN_FANIN -> "E_XDOMAIN_FANIN"
   | E_INTERNAL -> "E_INTERNAL"
 
 let all_codes =
@@ -51,6 +53,7 @@ let all_codes =
     E_UNROUTABLE;
     E_HOLD_VIOLATION;
     E_VERIFY;
+    E_XDOMAIN_FANIN;
     E_INTERNAL;
   ]
 
@@ -62,7 +65,7 @@ let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
 let exit_code = function
   | E_VERIFY | E_HOLD_VIOLATION -> 2
   | E_PARSE | E_MALFORMED_NET | E_UNDRIVEN | E_DANGLING | E_COMB_CYCLE
-  | E_UNKNOWN_DOMAIN | E_ARITY ->
+  | E_UNKNOWN_DOMAIN | E_ARITY | E_XDOMAIN_FANIN ->
       3
   | E_UNROUTABLE | E_CAPACITY -> 4
   | E_UNSUPPORTED -> 5

@@ -23,6 +23,10 @@ type code =
   | E_UNROUTABLE  (** No transport schedule within the slack budget. *)
   | E_HOLD_VIOLATION  (** Hold-safety (Observation 2) verification failure. *)
   | E_VERIFY  (** Any other static-verification failure. *)
+  | E_XDOMAIN_FANIN
+      (** A net is sampled by more domains than the MTS transport fabric
+          comfortably forks to (warning-class: legal, but each crossing
+          costs a per-domain transport and equalization padding). *)
   | E_INTERNAL  (** Invariant breakage inside the compiler. *)
 
 val code_name : code -> string

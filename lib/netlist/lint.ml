@@ -31,7 +31,11 @@ let diag_of_validation_error (e : Netlist.validation_error) =
    - domains declared but never used by any cell (a domain needs no
      materialized [Clock_source] cell — edges normally arrive from the
      external clock generators — but declaring one nothing references is
-     suspicious). *)
+     suspicious);
+   - cross-domain fanin: a net whose backward cone is sampled by more than
+     [xdomain_fanin_limit] distinct clock domains. *)
+let xdomain_fanin_limit = 4
+
 let check nl =
   let diags = ref [] in
   let push d = diags := d :: !diags in
@@ -81,6 +85,53 @@ let check nl =
              "domain %s is declared but never used"
              (Netlist.domain_name nl (Ids.Dom.of_int i))))
     used_domains;
+  (* Cross-domain fanin.  A net sampled by sequential cells of many
+     different domains forks into one MTS transport per crossing, and the
+     equal-delay MERGE rule (Axiom 2) pads every fork to the slowest arm —
+     so high cross-domain fanin is where schedule length quietly goes.  The
+     sampling-domain set of each net is the backward closure over
+     combinational logic of the [Dom_clock] triggers of its sequential
+     readers; more than [xdomain_fanin_limit] domains draws a warning. *)
+  let module IntSet = Set.Make (Int) in
+  let sampled : (int, IntSet.t) Hashtbl.t = Hashtbl.create 97 in
+  let get n = Option.value ~default:IntSet.empty (Hashtbl.find_opt sampled n) in
+  let work = Queue.create () in
+  let add_domain net d =
+    let n = Ids.Net.to_int net in
+    let s = get n in
+    if not (IntSet.mem d s) then (
+      Hashtbl.replace sampled n (IntSet.add d s);
+      Queue.push net work)
+  in
+  Netlist.iter_cells nl (fun c ->
+      match c.Cell.trigger with
+      | Some (Cell.Dom_clock d) ->
+          Array.iter
+            (fun n -> add_domain n (Ids.Dom.to_int d))
+            c.Cell.data_inputs
+      | Some (Cell.Net_trigger _) | None -> ());
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    let drv = Netlist.driver nl n in
+    if Cell.is_combinational drv then
+      let s = get (Ids.Net.to_int n) in
+      Array.iter
+        (fun m -> IntSet.iter (fun d -> add_domain m d) s)
+        drv.Cell.data_inputs
+  done;
+  Netlist.iter_nets nl (fun n ni ->
+      let k = IntSet.cardinal (get (Ids.Net.to_int n)) in
+      if k > xdomain_fanin_limit then
+        push
+          (Diag.warning Diag.E_XDOMAIN_FANIN ~net:(Ids.Net.to_int n)
+             ~cell:(Ids.Cell.to_int ni.Netlist.driver)
+             ~culprit:ni.Netlist.net_name
+             "net %s (driven by %s) is sampled by %d clock domains (limit \
+              %d): each crossing costs an MTS transport and equal-delay \
+              padding"
+             ni.Netlist.net_name
+             (Netlist.cell nl ni.Netlist.driver).Cell.name
+             k xdomain_fanin_limit));
   List.rev !diags
 
 let errors ds = List.filter Diag.is_error ds

@@ -18,11 +18,18 @@ val diag_of_validation_error :
 (** Stable mapping from finalize-time validation errors to diagnostic
     codes (e.g. [Undriven_net] → [E_UNDRIVEN]). *)
 
+val xdomain_fanin_limit : int
+(** Largest number of distinct clock domains that may sample (directly or
+    through combinational logic) a single net before {!check} warns with
+    [E_XDOMAIN_FANIN].  Currently 4: each sampling domain costs one MTS
+    transport per crossing plus equal-delay fork padding. *)
+
 val check : Netlist.t -> Msched_diag.Diag.t list
 (** Lint a frozen (already structurally valid) netlist.  Combinational
-    cycles are errors; dangling nets, clockless [Dom_clock] cells and
-    unused domains are warnings.  Returns diagnostics in deterministic
-    discovery order — never raises. *)
+    cycles are errors; dangling nets, clockless [Dom_clock] cells,
+    unused domains and cross-domain fanin beyond
+    {!xdomain_fanin_limit} are warnings.  Returns diagnostics in
+    deterministic discovery order — never raises. *)
 
 val errors : Msched_diag.Diag.t list -> Msched_diag.Diag.t list
 val has_errors : Msched_diag.Diag.t list -> bool

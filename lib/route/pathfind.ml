@@ -5,10 +5,36 @@ module Sink = Msched_obs.Sink
 
 type path = { p_len : int; p_hops : (int * int) list }
 
+(* Negotiated-congestion steering: with a reroute context carrying
+   history, explore channels with the least accumulated congestion first.
+   BFS still finds a minimal-latency path — the order only breaks ties
+   between equal-length paths, away from historically contested wires. *)
+let order_channels ctx channels =
+  match ctx with
+  | Some c when Reroute.history_total c > 0 ->
+      List.stable_sort
+        (fun (a : System.channel) (b : System.channel) ->
+          compare
+            (Reroute.history c ~channel:a.System.channel_index)
+            (Reroute.history c ~channel:b.System.channel_index))
+        channels
+  | Some _ | None -> channels
+
+let blocked_hop ctx ~channel =
+  match ctx with Some c -> Reroute.bump_history c ~channel | None -> ()
+
+let account_expansions ctx obs n =
+  Sink.add obs "pathfind.states_expanded" n;
+  match ctx with
+  | Some c ->
+      Reroute.note_expansions c n;
+      Sink.add obs "reroute.expansions" n
+  | None -> ()
+
 (* Backward BFS from (dst, r_arr).  States are (fpga, r); both transitions
    (wait, hop) increase r by one, so a FIFO queue explores r layer by
    layer and the first time we reach [src] is with minimal latency. *)
-let search ?(obs = Sink.null) sys res ~src ~dst ~r_arr ~max_extra =
+let search ?(obs = Sink.null) ?ctx sys res ~src ~dst ~r_arr ~max_extra =
   Sink.incr obs "pathfind.searches";
   if Ids.Fpga.equal src dst then Some { p_len = 0; p_hops = [] }
   else begin
@@ -47,11 +73,14 @@ let search ?(obs = Sink.null) sys res ~src ~dst ~r_arr ~max_extra =
               push
                 (Ids.Fpga.to_int c.System.src, r + 1)
                 (Some c.System.channel_index)
-            else incr blocked)
-          (System.in_channels sys (Ids.Fpga.of_int f))
+            else begin
+              incr blocked;
+              blocked_hop ctx ~channel:c.System.channel_index
+            end)
+          (order_channels ctx (System.in_channels sys (Ids.Fpga.of_int f)))
       end
     done;
-    Sink.add obs "pathfind.states_expanded" !expanded;
+    account_expansions ctx obs !expanded;
     Sink.add obs "pathfind.congestion_blocked" !blocked;
     match !found with
     | None ->
@@ -82,7 +111,7 @@ let reserve_path res path =
     path.p_hops
 
 (* Mirror image of [search]: BFS forward in time from (src, t_dep). *)
-let search_forward ?(obs = Sink.null) sys res ~src ~dst ~t_dep ~max_extra =
+let search_forward ?(obs = Sink.null) ?ctx sys res ~src ~dst ~t_dep ~max_extra =
   Sink.incr obs "pathfind.searches";
   if Ids.Fpga.equal src dst then Some { p_len = 0; p_hops = [] }
   else begin
@@ -117,11 +146,14 @@ let search_forward ?(obs = Sink.null) sys res ~src ~dst ~t_dep ~max_extra =
               push
                 (Ids.Fpga.to_int c.System.dst, t + 1)
                 (Some c.System.channel_index)
-            else incr blocked)
-          (System.out_channels sys (Ids.Fpga.of_int f))
+            else begin
+              incr blocked;
+              blocked_hop ctx ~channel:c.System.channel_index
+            end)
+          (order_channels ctx (System.out_channels sys (Ids.Fpga.of_int f)))
       end
     done;
-    Sink.add obs "pathfind.states_expanded" !expanded;
+    account_expansions ctx obs !expanded;
     Sink.add obs "pathfind.congestion_blocked" !blocked;
     match !found with
     | None ->

@@ -19,6 +19,7 @@ type path = {
 
 val search :
   ?obs:Msched_obs.Sink.t ->
+  ?ctx:Reroute.t ->
   Msched_arch.System.t ->
   Resource.t ->
   src:Ids.Fpga.t ->
@@ -28,12 +29,18 @@ val search :
   path option
 (** Minimal-latency path whose arrival is exactly [r_arr]; [None] if no path
     exists within [r_arr + distance + max_extra] reverse slots (pathological
-    congestion or a disconnected wire pool).  Does not reserve slots. *)
+    congestion or a disconnected wire pool).  Does not reserve slots.
+
+    With a reroute context [ctx], congestion-blocked hops accumulate
+    per-channel history and equal-length path ties are broken toward the
+    least-contested channels (negotiated congestion); expansion counts are
+    charged to the context and to the [reroute.expansions] counter. *)
 
 val reserve_path : Resource.t -> path -> unit
 
 val search_forward :
   ?obs:Msched_obs.Sink.t ->
+  ?ctx:Reroute.t ->
   Msched_arch.System.t ->
   Resource.t ->
   src:Ids.Fpga.t ->

@@ -2,6 +2,7 @@ open Msched_netlist
 module Partition = Msched_partition.Partition
 module Placement = Msched_place.Placement
 module System = Msched_arch.System
+module Topology = Msched_arch.Topology
 module Domain_analysis = Msched_mts.Domain_analysis
 module Latch_analysis = Msched_mts.Latch_analysis
 module Sink = Msched_obs.Sink
@@ -58,8 +59,19 @@ let mode_name = function
   | Mts_hard -> "hard"
   | Naive -> "naive"
 
+(* Ledger key of one transport of [l] (domain [-1] when the link is not
+   decomposed per domain). *)
+let transport_key dir (l : Link.t) dom =
+  {
+    Reroute.k_dir = dir;
+    k_net = Ids.Net.to_int l.Link.net;
+    k_src_block = Ids.Block.to_int l.Link.src_block;
+    k_dst_block = Ids.Block.to_int l.Link.dst_block;
+    k_domain = (match dom with Some d -> Ids.Dom.to_int d | None -> -1);
+  }
+
 let schedule placement dom_analysis ?analysis ?(options = default_options)
-    ?(obs = Sink.null) () =
+    ?(obs = Sink.null) ?reroute () =
   Sink.span obs ~args:[ ("mode", mode_name options.mode) ] "tiers"
   @@ fun () ->
   let part = Placement.partition placement in
@@ -68,6 +80,7 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
   let la =
     match analysis with Some a -> a | None -> Latch_analysis.analyze part
   in
+  Option.iter Reroute.clear_failures reroute;
   let warnings = ref [] in
   let warn fmt =
     Format.kasprintf
@@ -82,6 +95,36 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
       (Link.build placement dom_analysis
          ~decompose_mts:(options.mode <> Mts_hard)
          ~hard_mts:(options.mode = Mts_hard))
+  in
+  (* Per-net hard fallback: links the driver forced onto dedicated wires
+     (the unroutable residue of a previous attempt) are rewritten as hard
+     links, exactly as Mts_hard mode would build them — the hard pre-pass,
+     the verifier's fork/dedication rules and the pin accounting then
+     apply unchanged. *)
+  let links =
+    match reroute with
+    | None -> links
+    | Some ctx when Reroute.forced_hard_count ctx = 0 -> links
+    | Some ctx ->
+        let forced = ref 0 in
+        let links =
+          Array.map
+            (fun (l : Link.t) ->
+              if
+                (not l.Link.hard)
+                && Reroute.is_forced_hard ctx
+                     ~net:(Ids.Net.to_int l.Link.net)
+                     ~src_block:(Ids.Block.to_int l.Link.src_block)
+                     ~dst_block:(Ids.Block.to_int l.Link.dst_block)
+              then begin
+                incr forced;
+                { l with Link.hard = true; domains = [] }
+              end
+              else l)
+            links
+        in
+        Sink.add obs "reroute.forced_hard" !forced;
+        links
   in
   Sink.add obs "sched.links" (Array.length links);
   Sink.add obs "sched.hard_links"
@@ -151,13 +194,38 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
     Option.value ~default:0
       (Ids.Net.Tbl.find_opt la.(b).Latch_analysis.local_max_settle n)
   in
-  let route_transport (l : Link.t) dom r_arr =
+  let unroutable_diag (l : Link.t) r_arr =
+    Diag.error Diag.E_UNROUTABLE
+      ~net:(Ids.Net.to_int l.Link.net)
+      ~fpga:(Ids.Fpga.to_int l.Link.dst_fpga)
+      ~block:(Ids.Block.to_int l.Link.dst_block)
+      ~slack:(r_arr + options.max_extra_slots)
+      ~culprit:(Netlist.net nl l.Link.net).Netlist.net_name
+      "no path for %a within slack budget %d" Link.pp l
+      options.max_extra_slots
+  in
+  (* Without a reroute context an unroutable transport aborts the attempt
+     immediately (fail-fast, the seed behavior).  With one, the failure is
+     recorded as residue and the pass continues with an optimistic
+     shortest-distance estimate, so one attempt discovers the whole
+     unroutable set and everything routable lands in the ledger for the
+     next (warm) attempt. *)
+  let searched_transport ctx (l : Link.t) dom r_arr =
     match
-      Pathfind.search ~obs sys res ~src:l.Link.src_fpga ~dst:l.Link.dst_fpga
-        ~r_arr ~max_extra:options.max_extra_slots
+      Pathfind.search ~obs ?ctx sys res ~src:l.Link.src_fpga
+        ~dst:l.Link.dst_fpga ~r_arr ~max_extra:options.max_extra_slots
     with
     | Some p ->
         Pathfind.reserve_path res p;
+        Option.iter
+          (fun c ->
+            Reroute.record c (transport_key Reroute.Rev l dom)
+              {
+                Reroute.e_anchor = r_arr;
+                e_len = p.Pathfind.p_len;
+                e_hops = p.Pathfind.p_hops;
+              })
+          ctx;
         {
           rt_domain = dom;
           rt_rdep = r_arr + p.Pathfind.p_len;
@@ -165,17 +233,60 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
           rt_hops = p.Pathfind.p_hops;
           rt_hard = false;
         }
-    | None ->
-        raise
-          (Unroutable
-             (Diag.error Diag.E_UNROUTABLE
-                ~net:(Ids.Net.to_int l.Link.net)
-                ~fpga:(Ids.Fpga.to_int l.Link.dst_fpga)
-                ~block:(Ids.Block.to_int l.Link.dst_block)
-                ~slack:(r_arr + options.max_extra_slots)
-                ~culprit:(Netlist.net nl l.Link.net).Netlist.net_name
-                "no path for %a within slack budget %d" Link.pp l
-                options.max_extra_slots))
+    | None -> (
+        let d = unroutable_diag l r_arr in
+        match ctx with
+        | None -> raise (Unroutable d)
+        | Some c ->
+            Reroute.note_failure c (transport_key Reroute.Rev l dom) d;
+            Sink.incr obs "reroute.residue";
+            let dist =
+              Topology.distance (System.topology sys) l.Link.src_fpga
+                l.Link.dst_fpga
+            in
+            {
+              rt_domain = dom;
+              rt_rdep = r_arr + dist;
+              rt_rarr = r_arr;
+              rt_hops = [];
+              rt_hard = false;
+            })
+  in
+  let route_transport (l : Link.t) dom r_arr =
+    match reroute with
+    | None -> searched_transport None l dom r_arr
+    | Some ctx -> (
+        let key = transport_key Reroute.Rev l dom in
+        match Reroute.lookup ctx key with
+        | Some e
+          when e.Reroute.e_anchor = r_arr
+               && List.for_all
+                    (fun (channel, rslot) ->
+                      Resource.free_at res ~channel ~rslot)
+                    e.Reroute.e_hops ->
+            (* Warm replay: same requirement, slots still free — reserve
+               the remembered path without searching. *)
+            List.iter
+              (fun (channel, rslot) -> Resource.reserve res ~channel ~rslot)
+              e.Reroute.e_hops;
+            Reroute.note_reused ctx;
+            Sink.incr obs "reroute.reused";
+            {
+              rt_domain = dom;
+              rt_rdep = r_arr + e.Reroute.e_len;
+              rt_rarr = r_arr;
+              rt_hops = e.Reroute.e_hops;
+              rt_hard = false;
+            }
+        | Some _ ->
+            Reroute.rip ctx key;
+            Reroute.note_ripped ctx;
+            Sink.incr obs "reroute.ripped";
+            searched_transport reroute l dom r_arr
+        | None ->
+            Reroute.note_fresh ctx;
+            Sink.incr obs "reroute.fresh";
+            searched_transport reroute l dom r_arr)
   in
   let debug = Sys.getenv_opt "MSCHED_DEBUG_TIERS" <> None in
   let process_link xi =
@@ -283,6 +394,20 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
        | Sched_graph.Lnk i -> process_link i
        | Sched_graph.Grp (b, gi) -> process_group b gi)
      order);
+
+  (* Deferred unroutability: with a reroute context the whole residue was
+     collected above; the attempt still fails, but the ledger now holds
+     every routable transport and the context names every culprit. *)
+  (match reroute with
+  | None -> ()
+  | Some ctx -> (
+      Reroute.record_metrics obs ctx;
+      match Reroute.failures ctx with
+      | [] -> ()
+      | (_, d) :: _ as fails ->
+          Log.warn (fun m ->
+              m "%d transport(s) unroutable this attempt" (List.length fails));
+          raise (Unroutable d)));
 
   (* ---- Schedule length. ---- *)
   let length = ref !lmax in

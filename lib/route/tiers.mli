@@ -54,11 +54,22 @@ val schedule :
   ?analysis:Msched_mts.Latch_analysis.t array ->
   ?options:options ->
   ?obs:Msched_obs.Sink.t ->
+  ?reroute:Reroute.t ->
   unit ->
   Schedule.t
 (** Compile a placed design into a static schedule.  [analysis] (per-block
     latch analysis) is computed on demand when not supplied.  [obs] records
     stage spans ([tiers.*]) plus scheduler/pathfinder/channel metrics (see
     [docs/OBSERVABILITY.md]).
+
+    With a [reroute] context the attempt runs {e warm}: transports whose
+    requirement slot is unchanged since the last attempt are replayed from
+    the context's ledger without a search, searches are steered by the
+    negotiated-congestion history, links the driver forced hard
+    ({!Reroute.force_hard}) are routed on dedicated wires, and an
+    unroutable transport no longer aborts the pass — the whole residue is
+    collected into the context first, then {!Unroutable} is raised with
+    the first culprit.  The context must belong to this placement; clear
+    it when the partition or placement changes.
     @raise Unroutable when a transport cannot be placed within the slack
     budget (e.g. hard wires exhausted a channel). *)

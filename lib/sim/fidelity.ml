@@ -101,3 +101,44 @@ let pp_report ppf r =
     r.violations.Emu_sim.hold_hazards
     r.violations.Emu_sim.causality_inversions
     r.violations.Emu_sim.late_events
+
+(* Structured diagnostics for the simulation-fidelity gate, so the CLI and
+   bench entry points can report mismatches through the same machinery
+   (and exit classes) as the static pipeline. *)
+let diags_of_report r =
+  let module Diag = Msched_diag.Diag in
+  let d = ref [] in
+  let push x = d := x :: !d in
+  if r.state_mismatches > 0 || r.ram_mismatches > 0 then
+    push
+      (Diag.error Diag.E_VERIFY
+         "emulation diverged from the golden model: %d state cell(s) and \
+          %d RAM word(s) mismatched over %d frame(s)%s"
+         r.state_mismatches r.ram_mismatches r.mismatch_frames
+         (match r.first_mismatch_frame with
+         | None -> ""
+         | Some f -> Printf.sprintf ", first at frame %d" f));
+  if r.violations.Emu_sim.hold_hazards > 0 then
+    push
+      (Diag.error Diag.E_HOLD_VIOLATION
+         "%d hold hazard(s): data reached an open latch before its gate \
+          update in the same frame"
+         r.violations.Emu_sim.hold_hazards);
+  if r.violations.Emu_sim.causality_inversions > 0 then
+    push
+      (Diag.error Diag.E_VERIFY
+         "%d causality inversion(s) across MTS transport pairs"
+         r.violations.Emu_sim.causality_inversions);
+  if r.violations.Emu_sim.late_events > 0 then
+    push
+      (Diag.error Diag.E_INTERNAL "%d event(s) past the frame length"
+         r.violations.Emu_sim.late_events);
+  if r.violations.Emu_sim.event_overflows > 0 then
+    push
+      (Diag.error Diag.E_INTERNAL
+         "%d frame(s) hit the event budget (oscillation?)"
+         r.violations.Emu_sim.event_overflows);
+  if r.settle_warnings > 0 then
+    push
+      (Diag.warning Diag.E_VERIFY "%d settle warning(s)" r.settle_warnings);
+  List.rev !d

@@ -56,3 +56,10 @@ val compare_frames :
     single-edge frames must still be perfect. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val diags_of_report : report -> Msched_diag.Diag.t list
+(** Structured diagnostics for a non-perfect run: [E_VERIFY] for
+    golden-model divergence and causality inversions, [E_HOLD_VIOLATION]
+    for hold hazards (both exit class 2), [E_INTERNAL] for schedule
+    overruns, plus a warning for settle warnings.  Empty when {!perfect}
+    holds and there were no settle warnings. *)

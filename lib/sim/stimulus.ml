@@ -1,4 +1,5 @@
 open Msched_netlist
+module Diag = Msched_diag.Diag
 
 type t = { seed : int }
 
@@ -19,6 +20,8 @@ let value t (c : Cell.t) ~edge_index =
   | Cell.Input { domain = None } -> hash_bool t.seed (Ids.Cell.to_int c.Cell.id) 0
   | Cell.Gate _ | Cell.Latch _ | Cell.Flip_flop | Cell.Ram _
   | Cell.Clock_source _ | Cell.Output ->
-      invalid_arg "Stimulus.value: not an input cell"
+      Diag.fail Diag.E_INTERNAL
+        ~cell:(Ids.Cell.to_int c.Cell.id)
+        "Stimulus.value: %s is not an input cell" c.Cell.name
 
 let initial t c = value t c ~edge_index:(-1)

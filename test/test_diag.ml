@@ -133,6 +133,50 @@ let test_lint_comb_cycle () =
        (fun d -> d.Diag.code = Diag.E_COMB_CYCLE && Diag.is_error d)
        diags)
 
+(* One net sampled through a buffer by flip-flops of [domains] distinct
+   domains, every FF output consumed so the only possible warning is the
+   fanin one. *)
+let fanin_design ~domains =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "design fanin\n";
+  for d = 0 to domains - 1 do
+    pr "domain d%d\n" d
+  done;
+  pr "net 0 A\nnet 1 X\n";
+  for d = 0 to domains - 1 do
+    pr "net %d F%d\n" (2 + d) d
+  done;
+  pr "input A 0 domain 0\ngate buf X 1 0\n";
+  for d = 0 to domains - 1 do
+    pr "ff F%d %d 1 dom %d\n" d (2 + d) d
+  done;
+  for d = 0 to domains - 1 do
+    pr "output O%d %d\n" d (2 + d)
+  done;
+  netlist_of_string_exn (Buffer.contents b)
+
+let test_lint_xdomain_fanin () =
+  let diags = Lint.check (fanin_design ~domains:Lint.xdomain_fanin_limit) in
+  Alcotest.(check bool)
+    (Format.asprintf "%d sampling domains lint clean, got %d diags"
+       Lint.xdomain_fanin_limit (List.length diags))
+    true (diags = []);
+  let diags =
+    Lint.check (fanin_design ~domains:(Lint.xdomain_fanin_limit + 2))
+  in
+  let fanin = List.filter (fun d -> d.Diag.code = Diag.E_XDOMAIN_FANIN) diags in
+  Alcotest.(check bool) "over-limit fanin flagged" true (fanin <> []);
+  Alcotest.(check bool) "fanin is a warning" false (Lint.has_errors diags);
+  Alcotest.(check bool) "fanin names the hot net" true
+    (List.exists (fun d -> d.Diag.ctx.Diag.culprit = Some "X") fanin);
+  (* The sampling set propagates backward through the buffer, so the
+     primary-input net is flagged too. *)
+  Alcotest.(check bool) "fanin reaches the backward cone" true
+    (List.exists (fun d -> d.Diag.ctx.Diag.culprit = Some "A") fanin);
+  Alcotest.(check int) "warning exit class is 3" 3
+    (Diag.exit_code Diag.E_XDOMAIN_FANIN)
+
 let test_parser_recovers () =
   (* Multiple independent problems, all reported in one pass. *)
   let r =
@@ -228,11 +272,130 @@ let test_resilient_hard_fallback () =
       ~fallback_hard:true nl
   in
   Alcotest.(check bool) "fallback succeeds" true (Compile.succeeded r);
-  Alcotest.(check bool) "achieved mode is hard" true
-    (r.Compile.degradation.Compile.achieved_mode = Some Tiers.Mts_hard);
+  (* Per-net fallback: only the unroutable residue moves to dedicated
+     wires, so the achieved mode stays the requested (virtual) one unless
+     the whole-schedule hard rung had to run. *)
+  Alcotest.(check bool) "achieved mode reported" true
+    (r.Compile.degradation.Compile.achieved_mode <> None);
+  Alcotest.(check bool) "fallback rung ran" true
+    (List.exists
+       (fun a ->
+         String.length a.Compile.attempt_label >= 13
+         && String.sub a.Compile.attempt_label 0 13 = "fallback-hard")
+       r.Compile.attempts);
   Alcotest.(check bool) "fallback transports counted" true
     (r.Compile.degradation.Compile.fallback_nets > 0);
   Alcotest.(check int) "exit 0 when degraded" 0 (Compile.resilient_exit_code r)
+
+let test_resilient_per_net_fallback_stays_virtual () =
+  (* The per-net rung should succeed while keeping the schedule in the
+     requested virtual mode: hard-wire the residue, not the design. *)
+  let nl = congested_netlist () in
+  let r =
+    Compile.compile_resilient ~options:tight_options ~max_retries:0
+      ~fallback_hard:true nl
+  in
+  match r.Compile.degradation.Compile.achieved_mode with
+  | Some Tiers.Mts_virtual ->
+      let c = Option.get r.Compile.compiled in
+      let total =
+        List.fold_left
+          (fun acc ls ->
+            acc + List.length ls.Msched_route.Schedule.ls_transports)
+          0 c.Compile.schedule.Msched_route.Schedule.link_scheds
+      in
+      Alcotest.(check bool) "residue smaller than schedule" true
+        (r.Compile.degradation.Compile.fallback_nets < total)
+  | Some m ->
+      Alcotest.failf "expected virtual mode after per-net fallback, got %s"
+        (Tiers.mode_name m)
+  | None -> Alcotest.fail "per-net fallback did not succeed"
+
+(* ---- Simulation-fidelity failures flow through Msched_diag. ---- *)
+
+let test_fidelity_diag_exit_class () =
+  let module Fidelity = Msched_sim.Fidelity in
+  let module Emu_sim = Msched_sim.Emu_sim in
+  let clean_violations =
+    {
+      Emu_sim.hold_hazards = 0;
+      causality_inversions = 0;
+      late_events = 0;
+      event_overflows = 0;
+    }
+  in
+  let base =
+    {
+      Fidelity.frames = 100;
+      mismatch_frames = 0;
+      state_mismatches = 0;
+      ram_mismatches = 0;
+      first_mismatch_frame = None;
+      violations = clean_violations;
+      settle_warnings = 0;
+    }
+  in
+  Alcotest.(check int) "perfect run has no diags" 0
+    (List.length (Fidelity.diags_of_report base));
+  (* Golden-model divergence and hold hazards are verification failures:
+     every error diag must carry exit class 2. *)
+  let bad =
+    {
+      base with
+      Fidelity.mismatch_frames = 3;
+      state_mismatches = 7;
+      first_mismatch_frame = Some 12;
+      violations = { clean_violations with Emu_sim.hold_hazards = 2 };
+    }
+  in
+  let diags = Fidelity.diags_of_report bad in
+  Alcotest.(check bool) "divergence diagnosed" true (List.length diags >= 2);
+  List.iter
+    (fun d ->
+      if Diag.is_error d then
+        Alcotest.(check int)
+          ("exit class of " ^ Diag.code_name d.Diag.code)
+          2 (Diag.exit_code d.Diag.code))
+    diags;
+  Alcotest.(check bool) "hold hazard coded" true
+    (List.exists (fun d -> d.Diag.code = Diag.E_HOLD_VIOLATION) diags);
+  (* Schedule overruns are internal errors (class 6). *)
+  let overrun =
+    { base with Fidelity.violations = { clean_violations with Emu_sim.late_events = 1 } }
+  in
+  (match Fidelity.diags_of_report overrun with
+  | [ d ] ->
+      Alcotest.(check int) "overrun class" 6 (Diag.exit_code d.Diag.code)
+  | ds -> Alcotest.failf "expected one overrun diag, got %d" (List.length ds))
+
+let test_stimulus_misuse_is_structured () =
+  (* The simulator's precondition failures raise structured diagnostics,
+     not bare [Invalid_argument] — so the driver-side classifier keeps
+     them in the internal class. *)
+  let nl =
+    netlist_of_string_exn
+      "design d\n\
+       domain clk\n\
+       net 0 A\n\
+       net 1 F\n\
+       input A 0 domain 0\n\
+       ff F 1 0 dom 0\n\
+       output O 1\n"
+  in
+  let stim = Msched_sim.Stimulus.make nl in
+  let ff =
+    let found = ref None in
+    Netlist.iter_cells nl (fun c ->
+        if c.Msched_netlist.Cell.kind = Msched_netlist.Cell.Flip_flop then
+          found := Some c);
+    Option.get !found
+  in
+  match Msched_sim.Stimulus.value stim ff ~edge_index:0 with
+  | _ -> Alcotest.fail "expected a structured failure"
+  | exception Diag.Fail d ->
+      Alcotest.(check bool) "internal code" true (d.Diag.code = Diag.E_INTERNAL);
+      Alcotest.(check int) "internal exit class" 6
+        (Diag.exit_code (Compile.diag_of_exn (Diag.Fail d)).Diag.code)
 
 let test_resilient_lint_stops () =
   (* A combinational cycle is a lint error: no attempt should run. *)
@@ -278,6 +441,8 @@ let suite =
     Alcotest.test_case "lint: clean design" `Quick test_lint_clean_design;
     Alcotest.test_case "lint: dangling net" `Quick test_lint_dangling;
     Alcotest.test_case "lint: combinational cycle" `Quick test_lint_comb_cycle;
+    Alcotest.test_case "lint: cross-domain fanin" `Quick
+      test_lint_xdomain_fanin;
     Alcotest.test_case "parser recovers per line" `Quick test_parser_recovers;
     Alcotest.test_case "parser diag accepts good input" `Quick
       test_parser_diag_ok_on_good_input;
@@ -285,8 +450,14 @@ let suite =
       test_resilient_clean_design;
     Alcotest.test_case "resilient: retries recover" `Quick
       test_resilient_retries_recover;
+    Alcotest.test_case "resilient: per-net fallback stays virtual" `Quick
+      test_resilient_per_net_fallback_stays_virtual;
     Alcotest.test_case "resilient: hard fallback" `Quick
       test_resilient_hard_fallback;
+    Alcotest.test_case "fidelity diags carry exit classes" `Quick
+      test_fidelity_diag_exit_class;
+    Alcotest.test_case "stimulus misuse is structured" `Quick
+      test_stimulus_misuse_is_structured;
     Alcotest.test_case "resilient: lint stops attempts" `Quick
       test_resilient_lint_stops;
     Alcotest.test_case "resilient: driver JSON" `Quick test_resilient_json;

@@ -23,6 +23,7 @@ let () =
       ("frames", Test_frames.suite);
       ("injection", Test_injection.suite);
       ("diag", Test_diag.suite);
+      ("reroute", Test_reroute.suite);
       ("verify", Test_verify.suite);
       ("forward", Test_forward.suite);
       ("compile", Test_compile.suite);
