@@ -35,6 +35,8 @@ module Fidelity = Msched_sim.Fidelity
 module Design_gen = Msched_gen.Design_gen
 module Sink = Msched_obs.Sink
 module Obs_export = Msched_obs.Export
+module Server = Msched_server.Server
+module Manifest = Msched_server.Manifest
 
 (* Errors are always printed; warnings are capped so a lint-unclean but
    compilable design doesn't bury the result (full detail via --diag-json). *)
@@ -351,6 +353,78 @@ let vcd_cmd path horizon seed =
   let edges = Msched_clocking.Edges.stream clocks ~horizon_ps:horizon in
   Msched_sim.Vcd.trace_run sim ~edges Format.std_formatter
 
+(* ---- Batch server front end (see docs/SERVER.md). ---- *)
+
+let server_settings pins weight mode retries fallback_hard cold max_extra
+    cache_dir obs_jobs =
+  let ropts = route_options_of mode in
+  let ropts =
+    match max_extra with
+    | None -> ropts
+    | Some n -> { ropts with Tiers.max_extra_slots = n }
+  in
+  {
+    Server.s_options =
+      { (options_of pins weight) with Msched.Compile.route = ropts };
+    s_max_retries = retries;
+    s_fallback_hard = fallback_hard;
+    s_reuse = not cold;
+    s_cache_dir = cache_dir;
+    s_obs_jobs = obs_jobs;
+  }
+
+let batch_cmd source jobs cache_dir out pins weight mode retries fallback_hard
+    cold max_extra trace json =
+  protect @@ fun () ->
+  let settings =
+    server_settings pins weight mode retries fallback_hard cold max_extra
+      cache_dir
+      (trace <> None || json <> None)
+  in
+  match Manifest.load source with
+  | Error diags ->
+      print_diags source diags;
+      exit (Diag.Report.exit_code (report_of diags))
+  | Ok entries ->
+      let job_list =
+        List.mapi
+          (fun index e ->
+            match Server.job_of_file ~index e.Manifest.e_path with
+            | Ok job -> job
+            | Error d ->
+                Format.eprintf "%s: %a@." e.Manifest.e_path Diag.pp d;
+                exit (Diag.exit_code d.Diag.code))
+          entries
+      in
+      let batch = Server.run_batch ~jobs settings job_list in
+      write_out out (Server.to_ndjson batch);
+      (* Human summary on stderr; stdout may be carrying the NDJSON. *)
+      Format.eprintf "%s@." (Server.summary_json batch);
+      (match (trace, json) with
+      | None, None -> ()
+      | _ ->
+          let obs = Sink.create () in
+          Server.record_obs obs batch;
+          write_trace trace obs;
+          (match json with
+          | None -> ()
+          | Some path -> Obs_export.write_file path (Obs_export.json_string obs)));
+      let code = Server.exit_code batch in
+      if code <> 0 then exit code
+
+let serve_cmd use_stdin cache_dir pins weight mode retries fallback_hard cold
+    max_extra =
+  protect @@ fun () ->
+  if not use_stdin then begin
+    Printf.eprintf "serve: pass --stdin (the only transport so far)\n";
+    exit 1
+  end;
+  let settings =
+    server_settings pins weight mode retries fallback_hard cold max_extra
+      cache_dir false
+  in
+  Server.serve settings stdin stdout
+
 let gen_cmd name scale =
   let design =
     match name with
@@ -438,6 +512,51 @@ let name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"NAME" ~doc:"design1|design2|fig1|fig3|handshake")
 
+let source_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"MANIFEST|DIR"
+        ~doc:
+          "Batch source: a directory (every *.mnl underneath, recursively, \
+           sorted) or a manifest file (one design path or {\"path\": ...} \
+           NDJSON object per line, # comments)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains compiling designs concurrently (default: the \
+           recommended domain count; output is byte-identical for any N)")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent warm-route cache: reroute contexts keyed by design \
+           content are stored here and replayed by later runs (corrupt \
+           entries degrade to cold with an E_CACHE warning)")
+
+let out_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"NDJSON results: one msched-batch-1 record per design plus a \
+              msched-batch-summary-1 line (\"-\" = stdout)")
+
+let stdin_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "stdin" ]
+        ~doc:
+          "Read NDJSON job requests ({\"path\": ..., \"id\"?: ...} or bare \
+           paths, one per line) from standard input; respond with one \
+           record per line and a summary at EOF")
+
 let profile_name_arg =
   Arg.(
     required
@@ -484,6 +603,24 @@ let cmds =
       Term.(const vcd_cmd $ path_arg $ horizon_arg $ seed_arg);
     Cmd.v (Cmd.info "gen" ~doc:"Emit a benchmark design in the text format")
       Term.(const gen_cmd $ name_arg $ scale_arg);
+    Cmd.v
+      (Cmd.info "batch"
+         ~doc:
+           "Compile a whole corpus concurrently on a Domain worker pool \
+            and emit one NDJSON record per design (see docs/SERVER.md)")
+      Term.(
+        const batch_cmd $ source_arg $ jobs_arg $ cache_dir_arg $ out_arg
+        $ pins_arg $ weight_arg $ mode_arg $ retries_arg $ fallback_hard_arg
+        $ cold_arg $ max_extra_arg $ trace_arg $ json_arg);
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Long-lived compile server: NDJSON job requests on stdin, one \
+            result record per line (warm-route cache spans requests)")
+      Term.(
+        const serve_cmd $ stdin_flag_arg $ cache_dir_arg $ pins_arg
+        $ weight_arg $ mode_arg $ retries_arg $ fallback_hard_arg $ cold_arg
+        $ max_extra_arg);
   ]
 
 let () =

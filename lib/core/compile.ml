@@ -284,7 +284,7 @@ let count_hard_transports (s : Msched_route.Schedule.t) =
 let max_fallback_iters = 4
 
 let compile_resilient ?(options = default_options) ?(max_retries = 3)
-    ?(fallback_hard = false) ?(reuse = true) nl =
+    ?(fallback_hard = false) ?(reuse = true) ?reroute nl =
   let obs = options.obs in
   Sink.span obs "driver" @@ fun () ->
   let diags = ref [] in
@@ -327,8 +327,11 @@ let compile_resilient ?(options = default_options) ?(max_retries = 3)
        relax-slack, and the per-net fallback iterations); a seed change
        invalidates the ledger, so reseed rungs start cold.  With
        [reuse = false] every attempt starts cold — the differential-test
-       baseline. *)
-    let ctx = Reroute.create () in
+       baseline.  An externally supplied [reroute] context (deserialized
+       from the warm-route cache, or retained from a previous run of the
+       same design) makes even the baseline attempt warm: its ledger
+       replays and its congestion history steers from the first search. *)
+    let ctx = match reroute with Some c -> c | None -> Reroute.create () in
     (* Forced-hard keys survive context clears via this driver-side list,
        so cold mode reaches the same per-net fallback state as warm. *)
     let forced : Reroute.key list ref = ref [] in

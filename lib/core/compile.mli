@@ -193,6 +193,7 @@ val compile_resilient :
   ?max_retries:int ->
   ?fallback_hard:bool ->
   ?reuse:bool ->
+  ?reroute:Msched_route.Reroute.t ->
   Netlist.t ->
   resilient
 (** Never raises (any unexpected exception becomes an [E_INTERNAL]
@@ -202,7 +203,12 @@ val compile_resilient :
     last resort); [reuse] (default [true]) keeps the reroute context warm
     across seed-compatible attempts — [false] re-searches every attempt
     from scratch (same results, more work; used by the differential
-    tests). *)
+    tests).  [reroute] supplies the context instead of starting fresh:
+    pass one deserialized from {!Msched_route.Reroute.of_json_string} (or
+    retained from a previous run of the same design) and even the baseline
+    attempt runs warm — the mechanism behind the process-spanning
+    warm-route cache of {!Msched_server}.  The context is mutated in
+    place; serialize it afterwards to persist what this run learned. *)
 
 val succeeded : resilient -> bool
 val degraded : resilient -> bool

@@ -22,6 +22,7 @@ type code =
   | E_VERIFY
   | E_XDOMAIN_FANIN
   | E_INTERNAL
+  | E_CACHE
 
 let code_name = function
   | E_PARSE -> "E_PARSE"
@@ -38,6 +39,7 @@ let code_name = function
   | E_VERIFY -> "E_VERIFY"
   | E_XDOMAIN_FANIN -> "E_XDOMAIN_FANIN"
   | E_INTERNAL -> "E_INTERNAL"
+  | E_CACHE -> "E_CACHE"
 
 let all_codes =
   [
@@ -55,6 +57,7 @@ let all_codes =
     E_VERIFY;
     E_XDOMAIN_FANIN;
     E_INTERNAL;
+    E_CACHE;
   ]
 
 let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
@@ -65,7 +68,7 @@ let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
 let exit_code = function
   | E_VERIFY | E_HOLD_VIOLATION -> 2
   | E_PARSE | E_MALFORMED_NET | E_UNDRIVEN | E_DANGLING | E_COMB_CYCLE
-  | E_UNKNOWN_DOMAIN | E_ARITY | E_XDOMAIN_FANIN ->
+  | E_UNKNOWN_DOMAIN | E_ARITY | E_XDOMAIN_FANIN | E_CACHE ->
       3
   | E_UNROUTABLE | E_CAPACITY -> 4
   | E_UNSUPPORTED -> 5
@@ -185,6 +188,163 @@ module Json = struct
     escape b name;
     Buffer.add_char b ':';
     Buffer.add_string b value
+
+  (* A minimal JSON reader for the documents this toolchain itself emits
+     (diag/driver/reroute/batch schemas): objects, arrays, strings with
+     the escapes [escape] produces, numbers, booleans, null.  Readers that
+     accumulate diagnostics (the batch server, the reroute cache) need to
+     parse without pulling a JSON library into the dependency cone. *)
+  type value =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+
+  exception Parse_error of string
+
+  let parse text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+    in
+    let peek () = if !pos < n then Some text.[!pos] else None in
+    let next () =
+      match peek () with
+      | Some c ->
+          incr pos;
+          c
+      | None -> fail "unexpected end of input"
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if next () <> c then fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      String.iter expect word;
+      value
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+            (match next () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub text !pos 4 in
+                pos := !pos + 4;
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some cp when cp < 0x80 -> Buffer.add_char b (Char.chr cp)
+                | Some _ ->
+                    (* Our emitters only \u-escape control chars; keep
+                       anything wider escaped rather than transcoding. *)
+                    Buffer.add_string b ("\\u" ^ hex)
+                | None -> fail "bad \\u escape")
+            | c -> Buffer.add_char b c);
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        incr pos
+      done;
+      if start = !pos then fail "empty number";
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then (
+            incr pos;
+            Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' -> members ((k, v) :: acc)
+              | '}' -> Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected , or }"
+            in
+            members []
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then (
+            incr pos;
+            Arr [])
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' -> elems (v :: acc)
+              | ']' -> Arr (List.rev (v :: acc))
+              | _ -> fail "expected , or ]"
+            in
+            elems []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let mem name = function
+    | Obj members -> List.assoc_opt name members
+    | _ -> None
+
+  let str = function Str s -> Some s | _ -> None
+  let num = function Num f -> Some f | _ -> None
+  let arr = function Arr l -> Some l | _ -> None
+
+  let int v =
+    match num v with
+    | Some f when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
 end
 
 let to_json_buf b d =

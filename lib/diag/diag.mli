@@ -28,6 +28,10 @@ type code =
           comfortably forks to (warning-class: legal, but each crossing
           costs a per-domain transport and equalization padding). *)
   | E_INTERNAL  (** Invariant breakage inside the compiler. *)
+  | E_CACHE
+      (** A persisted artifact (warm-route cache file) is unreadable,
+          corrupt, checksum-mismatched or version-skewed.  Warning-class
+          in practice: the consumer degrades to a cold start. *)
 
 val code_name : code -> string
 (** ["E_UNROUTABLE"] etc. — stable. *)
@@ -128,11 +132,34 @@ val to_json : t -> string
 
 val to_json_buf : Buffer.t -> t -> unit
 
-(** JSON string escaping shared with report emitters elsewhere. *)
+(** JSON string escaping shared with report emitters elsewhere, plus a
+    minimal reader for the documents this toolchain itself emits (no
+    external JSON library anywhere in the dependency cone). *)
 module Json : sig
   val escape : Buffer.t -> string -> unit
   val string : string -> string
   val field : Buffer.t -> first:bool ref -> string -> string -> unit
+
+  type value =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+
+  val parse : string -> (value, string) result
+  (** Strict single-document parse; [Error] carries the offset of the
+      first problem.  Never raises. *)
+
+  val mem : string -> value -> value option
+  (** Object member lookup; [None] on missing member or non-object. *)
+
+  val str : value -> string option
+  val num : value -> float option
+  val arr : value -> value list option
+  val int : value -> int option
+  (** [num] restricted to integral values. *)
 end
 
 (** Accumulate-don't-crash collection of diagnostics. *)

@@ -119,3 +119,21 @@ val record_metrics : Msched_obs.Sink.t -> t -> unit
 (** Record the context statistics as [reroute.*] gauges into [obs]
     (cumulative totals; the per-attempt counters are recorded at the use
     sites).  No-op on a disabled sink. *)
+
+(** {2 Persistence (schema ["msched-reroute-1"])}
+
+    The warm parts of a context — ledger, congestion history, forced-hard
+    set — as a versioned, checksummed, canonical JSON document, so warm
+    retries can span processes (batch compile servers, CI re-runs).
+    Statistics and the failure residue are per-run state: a deserialized
+    context starts with zero counters and no residue. *)
+
+val to_json_string : t -> string
+(** Canonical (sorted) emission: [to_json_string (of_json_string s)] is
+    byte-identical to [s] for any document this function produced. *)
+
+val of_json_string : string -> (t, string) result
+(** [Error] on unparseable text, schema mismatch, malformed payload or
+    checksum mismatch (truncation and bit-rot both land here).  Callers
+    are expected to degrade to a cold context and surface the message as
+    an [E_CACHE] warning.  Never raises. *)

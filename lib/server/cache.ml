@@ -1,0 +1,104 @@
+(* Process-spanning warm-route cache: one msched-reroute-1 document per
+   (design content, compile-options fingerprint) key on disk.  A later
+   process compiling the same design under the same options deserializes
+   the context and replays the previous run's routes instead of searching
+   from scratch (ROADMAP: "warm retries span processes").
+
+   The module is stateless — all functions take the directory explicitly —
+   so concurrent worker domains share nothing but the filesystem.  Stores
+   are atomic (write a domain-private temp file, then rename); loads of a
+   missing key are misses; loads of an unreadable, truncated or
+   checksum-mismatched file degrade to a cold start with an E_CACHE
+   warning instead of failing the job. *)
+
+module Reroute = Msched_route.Reroute
+module Diag = Msched_diag.Diag
+
+(* FNV-1a 64-bit over the design text + options fingerprint: stable across
+   platforms and processes, cheap, and collision-resistant enough for a
+   content-addressed cache of compile jobs. *)
+let hash_hex s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let fingerprint (o : Msched.Compile.options) =
+  Printf.sprintf
+    "mode=%s;extra=%d;pins=%d;weight=%d;pseed=%d;plseed=%d;effort=%d;vhz=%.6g;topo=%s;verify=%b"
+    (Msched_route.Tiers.mode_name o.Msched.Compile.route.Msched_route.Tiers.mode)
+    o.Msched.Compile.route.Msched_route.Tiers.max_extra_slots
+    o.Msched.Compile.pins_per_fpga o.Msched.Compile.max_block_weight
+    o.Msched.Compile.partition_seed o.Msched.Compile.place_seed
+    o.Msched.Compile.place_effort o.Msched.Compile.vclock_hz
+    (Format.asprintf "%a" Msched_arch.Topology.pp_kind
+       o.Msched.Compile.topology_kind)
+    o.Msched.Compile.verify
+
+let key ~text ~options = hash_hex (fingerprint options ^ "\n" ^ text)
+
+let file ~dir ~key = Filename.concat dir ("reroute-" ^ key ^ ".json")
+
+let ensure_dir dir =
+  (* mkdir -p, shallow: the cache dir plus one missing parent is all the
+     CLI ever needs; anything deeper fails loudly below. *)
+  let rec make d =
+    if not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir;
+  if not (Sys.is_directory dir) then
+    raise (Diag.Fail (Diag.error Diag.E_CACHE "%s is not a directory" dir))
+
+type load = Miss | Hit of Reroute.t | Corrupt of Diag.t
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir ~key =
+  let path = file ~dir ~key in
+  if not (Sys.file_exists path) then Miss
+  else
+    match read_file path with
+    | exception Sys_error msg ->
+        Corrupt
+          (Diag.warning Diag.E_CACHE
+             "warm-route cache %s unreadable (%s); starting cold" path msg)
+    | text -> (
+        match Reroute.of_json_string text with
+        | Ok ctx -> Hit ctx
+        | Error msg ->
+            Corrupt
+              (Diag.warning Diag.E_CACHE
+                 "warm-route cache %s corrupt (%s); starting cold" path msg))
+
+let store ~dir ~key ctx =
+  let path = file ~dir ~key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Reroute.to_json_string ctx);
+        output_char oc '\n');
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+      (if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
+      Error
+        (Diag.warning Diag.E_CACHE "could not persist warm-route cache %s: %s"
+           path msg)

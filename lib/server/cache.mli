@@ -1,0 +1,37 @@
+(** On-disk warm-route cache: persisted {!Msched_route.Reroute} contexts
+    keyed by a content hash of the design text and the compile-options
+    fingerprint, so warm retries span processes.
+
+    All functions are stateless in the directory argument — concurrent
+    worker domains share nothing but the filesystem.  The file layout
+    ([reroute-<key>.json], one canonical [msched-reroute-1] document each)
+    is documented in [docs/SERVER.md]. *)
+
+val hash_hex : string -> string
+(** FNV-1a 64-bit, as 16 lowercase hex digits. *)
+
+val fingerprint : Msched.Compile.options -> string
+(** The option fields that change routing results; part of the cache key
+    so stale contexts are never replayed against different options. *)
+
+val key : text:string -> options:Msched.Compile.options -> string
+val file : dir:string -> key:string -> string
+
+val ensure_dir : string -> unit
+(** Create the cache directory (and one missing parent) if needed.
+    @raise Msched_diag.Diag.Fail (E_CACHE) when the path exists but is not
+    a directory. *)
+
+type load =
+  | Miss  (** No cache file for this key. *)
+  | Hit of Msched_route.Reroute.t
+  | Corrupt of Msched_diag.Diag.t
+      (** Unreadable / truncated / checksum-mismatched file: the carried
+          E_CACHE warning says why; the caller degrades to a cold start. *)
+
+val load : dir:string -> key:string -> load
+
+val store :
+  dir:string -> key:string -> Msched_route.Reroute.t -> (unit, Msched_diag.Diag.t) result
+(** Atomic (temp file + rename), domain-safe.  [Error] carries an E_CACHE
+    warning; persisting is best-effort and never fails a job. *)

@@ -1,0 +1,77 @@
+(* Batch job sources: a directory (every *.mnl underneath, recursively,
+   in sorted path order) or a manifest file — one design path per line,
+   [#] comments, or NDJSON lines {"path": "..."} as emitted/consumed by
+   `msched serve`.  Relative paths resolve against the manifest's own
+   directory, so manifests are relocatable with their designs. *)
+
+module Diag = Msched_diag.Diag
+
+type entry = { e_path : string  (** Resolved path to the design file. *) }
+
+let is_mnl name = Filename.check_suffix name ".mnl"
+
+let rec scan_dir dir acc =
+  Array.fold_left
+    (fun acc name ->
+      let path = Filename.concat dir name in
+      if Sys.is_directory path then scan_dir path acc
+      else if is_mnl name then { e_path = path } :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+let of_dir dir =
+  let entries = scan_dir dir [] in
+  Ok (List.sort (fun a b -> compare a.e_path b.e_path) entries)
+
+let resolve ~base path =
+  if Filename.is_relative path then Filename.concat base path else path
+
+let entry_of_json ~base ~lineno line =
+  let module J = Diag.Json in
+  match J.parse line with
+  | Error msg ->
+      Error (Diag.error Diag.E_PARSE "manifest line %d: %s" lineno msg)
+  | Ok doc -> (
+      match Option.bind (J.mem "path" doc) J.str with
+      | Some path -> Ok { e_path = resolve ~base path }
+      | None ->
+          Error
+            (Diag.error Diag.E_PARSE
+               "manifest line %d: missing \"path\" member" lineno))
+
+let of_file path =
+  let base = Filename.dirname path in
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let entries, errors =
+    List.fold_left
+      (fun ((entries, errors) as acc) (lineno, line) ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then acc
+        else if line.[0] = '{' then
+          match entry_of_json ~base ~lineno line with
+          | Ok e -> (e :: entries, errors)
+          | Error d -> (entries, d :: errors)
+        else ({ e_path = resolve ~base line } :: entries, errors))
+      ([], [])
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  match errors with
+  | [] -> Ok (List.rev entries)
+  | errs -> Error (List.rev errs)
+
+let load path =
+  if not (Sys.file_exists path) then
+    Error [ Diag.error Diag.E_PARSE "%s: no such file or directory" path ]
+  else if Sys.is_directory path then of_dir path
+  else of_file path

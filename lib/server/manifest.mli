@@ -1,0 +1,13 @@
+(** Batch job sources for [msched batch].
+
+    A source is either a directory — every [*.mnl] underneath it,
+    recursively, in sorted path order — or a manifest file with one entry
+    per line: a design path, a [#] comment, or an NDJSON object
+    [{"path": "..."}].  Relative paths resolve against the manifest's own
+    directory. *)
+
+type entry = { e_path : string  (** Resolved path to the design file. *) }
+
+val load : string -> (entry list, Msched_diag.Diag.t list) result
+(** [Error] accumulates one [E_PARSE] diagnostic per bad manifest line
+    (or a single one for a missing source). *)

@@ -1,0 +1,61 @@
+(* Domain-based worker pool: a fixed set of OCaml 5 domains draining a
+   lock-protected index queue.  Results land in the slot of the task that
+   produced them, so the output order is the input order no matter how the
+   domains interleave — the foundation of the batch server's determinism
+   guarantee (jobs=4 output is byte-identical to jobs=1).
+
+   Tasks must not share mutable state (see docs/SERVER.md for the audit);
+   the pool itself touches only the cursor (under the mutex), per-slot
+   result cells (each written by exactly one domain, read after join) and
+   the in-flight high-water mark (atomic). *)
+
+type stats = { max_inflight : int  (** Peak concurrently-running tasks. *) }
+
+let map ?(jobs = 1) f tasks =
+  let n = Array.length tasks in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    (* In-process fast path: no spawn cost, and the degenerate case the
+       differential tests compare the parallel runs against. *)
+    (Array.map f tasks, { max_inflight = min 1 n })
+  else begin
+    let cursor = ref 0 in
+    let lock = Mutex.create () in
+    let take () =
+      Mutex.lock lock;
+      let i = !cursor in
+      if i < n then incr cursor;
+      Mutex.unlock lock;
+      if i < n then Some i else None
+    in
+    let inflight = Atomic.make 0 in
+    let peak = Atomic.make 0 in
+    let rec note_peak cur =
+      let m = Atomic.get peak in
+      if cur > m && not (Atomic.compare_and_set peak m cur) then note_peak cur
+    in
+    let results = Array.make n None in
+    let rec worker () =
+      match take () with
+      | None -> ()
+      | Some i ->
+          note_peak (1 + Atomic.fetch_and_add inflight 1);
+          let r =
+            match f tasks.(i) with v -> Ok v | exception e -> Error e
+          in
+          ignore (Atomic.fetch_and_add inflight (-1));
+          results.(i) <- Some r;
+          worker ()
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    let out =
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false (* every index was taken exactly once *))
+        results
+    in
+    (out, { max_inflight = Atomic.get peak })
+  end

@@ -1,0 +1,16 @@
+(** Domain worker pool with deterministic result placement.
+
+    [map ~jobs f tasks] applies [f] to every task on up to [jobs] worker
+    domains (clamped to the task count; [jobs <= 1] runs in the calling
+    domain with no spawn).  The result array is in task order regardless of
+    scheduling, and an exception raised by any [f] is re-raised in the
+    caller after all domains have joined.
+
+    [f] must not share mutable state between concurrent invocations: every
+    pipeline entry point reachable from {!Msched.Compile.compile} takes its
+    state via explicit context arguments (per-job options, observability
+    sink, reroute context — the audit is documented in [docs/SERVER.md]). *)
+
+type stats = { max_inflight : int  (** Peak concurrently-running tasks. *) }
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array * stats

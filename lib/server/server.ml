@@ -1,0 +1,411 @@
+(* Batch compilation server: many designs through the resilient driver,
+   concurrently, with nothing shared between in-flight jobs.
+
+   Every job gets an explicit per-job context ([job_ctx]): its own copy of
+   the compile options carrying a job-private observability sink, its own
+   diagnostic report, and its own reroute context (possibly deserialized
+   warm from the on-disk cache).  The pipeline passes reachable from
+   [Compile.compile] hold no module-level mutable state (audit in
+   docs/SERVER.md), so two jobs never race — which is what makes the
+   jobs=N output byte-identical to jobs=1.
+
+   Timing and observability are kept out of the per-design NDJSON records
+   (they go to the summary line and the server sink instead), so the
+   per-design output is a pure function of (design text, settings, cache
+   state). *)
+
+module Compile = Msched.Compile
+module Reroute = Msched_route.Reroute
+module Tiers = Msched_route.Tiers
+module Serial = Msched_netlist.Serial
+module Sink = Msched_obs.Sink
+module Diag = Msched_diag.Diag
+
+type job = {
+  j_index : int;  (** Position in the batch; results merge in this order. *)
+  j_path : string;  (** Display name (file path, or synthetic label). *)
+  j_text : string;  (** Netlist text, parsed inside the worker. *)
+}
+
+type settings = {
+  s_options : Compile.options;
+      (** Template; each job runs with a private copy (its own sink). *)
+  s_max_retries : int;
+  s_fallback_hard : bool;
+  s_reuse : bool;  (** Warm rerouting across retry rungs (--cold unsets). *)
+  s_cache_dir : string option;  (** Process-spanning warm-route cache. *)
+  s_obs_jobs : bool;
+      (** Give each job an enabled sink and merge its counters into the
+          server totals (on for --trace; off keeps probes free). *)
+}
+
+let default_settings =
+  {
+    s_options = Compile.default_options;
+    s_max_retries = 3;
+    s_fallback_hard = false;
+    s_reuse = true;
+    s_cache_dir = None;
+    s_obs_jobs = false;
+  }
+
+type cache_status = Cache_off | Cache_cold | Cache_warm | Cache_corrupt
+
+let cache_status_name = function
+  | Cache_off -> "off"
+  | Cache_cold -> "cold"
+  | Cache_warm -> "warm"
+  | Cache_corrupt -> "corrupt"
+
+(* The per-job context record: everything mutable a job touches, owned by
+   that job alone. *)
+type job_ctx = {
+  ctx_job : job;
+  ctx_options : Compile.options;  (** With this job's private sink. *)
+  ctx_obs : Sink.t;
+  ctx_reroute : Reroute.t;  (** Warm-loaded from cache, or fresh. *)
+  ctx_cache : cache_status;
+  ctx_key : string;  (** Content-hash cache key ("" when cache off). *)
+  ctx_report : Diag.Report.t;  (** Front-end / cache diagnostics. *)
+}
+
+type job_result = {
+  r_job : job;
+  r_key : string;
+  r_cache : cache_status;
+  r_resilient : Compile.resilient option;
+      (** [None] when the design text did not parse. *)
+  r_diags : Diag.t list;  (** Front-end / cache diagnostics. *)
+  r_exit : int;  (** The job's documented exit class (0 on success). *)
+  r_queue_s : float;  (** Batch start to job start. *)
+  r_wall_s : float;
+  r_counters : (string * int) list;  (** Job-sink counters (s_obs_jobs). *)
+}
+
+let make_ctx settings job =
+  let obs = if settings.s_obs_jobs then Sink.create () else Sink.null in
+  let options = { settings.s_options with Compile.obs } in
+  let report = Diag.Report.create () in
+  let key, cache, reroute =
+    match settings.s_cache_dir with
+    | None -> ("", Cache_off, Reroute.create ())
+    | Some dir -> (
+        let key = Cache.key ~text:job.j_text ~options in
+        match Cache.load ~dir ~key with
+        | Cache.Hit ctx -> (key, Cache_warm, ctx)
+        | Cache.Miss -> (key, Cache_cold, Reroute.create ())
+        | Cache.Corrupt d ->
+            Diag.Report.add report d;
+            (key, Cache_corrupt, Reroute.create ()))
+  in
+  {
+    ctx_job = job;
+    ctx_options = options;
+    ctx_obs = obs;
+    ctx_reroute = reroute;
+    ctx_cache = cache;
+    ctx_key = key;
+    ctx_report = report;
+  }
+
+let run_job settings ~epoch job =
+  let t0 = Unix.gettimeofday () in
+  let ctx = make_ctx settings job in
+  let resilient, exit_code =
+    match Serial.of_string_diag job.j_text with
+    | Error diags ->
+        Diag.Report.add_list ctx.ctx_report diags;
+        (None, Diag.Report.exit_code ctx.ctx_report)
+    | Ok nl ->
+        let r =
+          Compile.compile_resilient ~options:ctx.ctx_options
+            ~max_retries:settings.s_max_retries
+            ~fallback_hard:settings.s_fallback_hard ~reuse:settings.s_reuse
+            ~reroute:ctx.ctx_reroute nl
+        in
+        (match (settings.s_cache_dir, Compile.succeeded r) with
+        | Some dir, true -> (
+            match Cache.store ~dir ~key:ctx.ctx_key ctx.ctx_reroute with
+            | Ok () -> ()
+            | Error d -> Diag.Report.add ctx.ctx_report d)
+        | _ -> ());
+        (Some r, Compile.resilient_exit_code r)
+  in
+  let t1 = Unix.gettimeofday () in
+  {
+    r_job = job;
+    r_key = ctx.ctx_key;
+    r_cache = ctx.ctx_cache;
+    r_resilient = resilient;
+    r_diags = Diag.Report.to_list ctx.ctx_report;
+    r_exit = exit_code;
+    r_queue_s = t0 -. epoch;
+    r_wall_s = t1 -. t0;
+    r_counters = Sink.counters ctx.ctx_obs;
+  }
+
+type batch_result = {
+  b_results : job_result array;  (** In job order, always. *)
+  b_jobs : int;  (** Worker count actually used. *)
+  b_max_inflight : int;
+  b_wall_s : float;
+}
+
+let run_batch ?(jobs = 1) settings job_list =
+  (match settings.s_cache_dir with
+  | Some dir -> Cache.ensure_dir dir
+  | None -> ());
+  let tasks = Array.of_list job_list in
+  let jobs = max 1 (min jobs (max 1 (Array.length tasks))) in
+  let epoch = Unix.gettimeofday () in
+  let results, stats = Pool.map ~jobs (run_job settings ~epoch) tasks in
+  let wall = Unix.gettimeofday () -. epoch in
+  {
+    b_results = results;
+    b_jobs = jobs;
+    b_max_inflight = stats.Pool.max_inflight;
+    b_wall_s = wall;
+  }
+
+(* ---- Job construction. ---- *)
+
+let job_of_text ~index ~path text = { j_index = index; j_path = path; j_text = text }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let job_of_file ~index path =
+  match read_file path with
+  | text -> Ok (job_of_text ~index ~path text)
+  | exception Sys_error msg ->
+      Error (Diag.error Diag.E_PARSE "%s: %s" path msg)
+
+(* ---- NDJSON emission (schemas msched-batch-1 / msched-batch-summary-1).
+
+   The per-design record is deterministic: no wall-clock fields, job
+   order fixed by j_index.  Timing lives in the summary line only. *)
+
+let record_json r =
+  let module J = Diag.Json in
+  let b = Buffer.create 1024 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  J.field b ~first "schema" (J.string "msched-batch-1");
+  J.field b ~first "design" (J.string r.r_job.j_path);
+  if r.r_key <> "" then J.field b ~first "key" (J.string r.r_key);
+  J.field b ~first "cache" (J.string (cache_status_name r.r_cache));
+  J.field b ~first "exit_code" (string_of_int r.r_exit);
+  let diags = Buffer.create 256 in
+  let rep = Diag.Report.create () in
+  Diag.Report.add_list rep r.r_diags;
+  Diag.Report.to_json_buf diags rep;
+  J.field b ~first "diagnostics" (Buffer.contents diags);
+  J.field b ~first "result"
+    (match r.r_resilient with
+    | None -> "null"
+    | Some r -> Compile.resilient_to_json r);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let ok_degraded_failed batch =
+  Array.fold_left
+    (fun (ok, degraded, failed) r ->
+      match r.r_resilient with
+      | Some res when Compile.succeeded res ->
+          if Compile.degraded res then (ok, degraded + 1, failed)
+          else (ok + 1, degraded, failed)
+      | _ -> (ok, degraded, failed + 1))
+    (0, 0, 0) batch.b_results
+
+let count_cache batch status =
+  Array.fold_left
+    (fun n r -> if r.r_cache = status then n + 1 else n)
+    0 batch.b_results
+
+let summary_json batch =
+  let module J = Diag.Json in
+  let ok, degraded, failed = ok_degraded_failed batch in
+  let n = Array.length batch.b_results in
+  let b = Buffer.create 512 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  J.field b ~first "schema" (J.string "msched-batch-summary-1");
+  J.field b ~first "designs" (string_of_int n);
+  J.field b ~first "ok" (string_of_int ok);
+  J.field b ~first "degraded" (string_of_int degraded);
+  J.field b ~first "failed" (string_of_int failed);
+  J.field b ~first "jobs" (string_of_int batch.b_jobs);
+  J.field b ~first "max_inflight" (string_of_int batch.b_max_inflight);
+  let cb = Buffer.create 128 in
+  let cf = ref true in
+  Buffer.add_char cb '{';
+  List.iter
+    (fun s ->
+      J.field cb ~first:cf (cache_status_name s)
+        (string_of_int (count_cache batch s)))
+    [ Cache_off; Cache_cold; Cache_warm; Cache_corrupt ];
+  Buffer.add_char cb '}';
+  J.field b ~first "cache" (Buffer.contents cb);
+  J.field b ~first "wall_s" (Printf.sprintf "%.6f" batch.b_wall_s);
+  J.field b ~first "designs_per_s"
+    (Printf.sprintf "%.6g"
+       (if batch.b_wall_s > 0.0 then float_of_int n /. batch.b_wall_s
+        else 0.0));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_ndjson batch =
+  let b = Buffer.create 4096 in
+  Array.iter
+    (fun r ->
+      Buffer.add_string b (record_json r);
+      Buffer.add_char b '\n')
+    batch.b_results;
+  Buffer.add_string b (summary_json batch);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* Batch exit class: 0 when every job compiled (degraded counts as
+   success, matching the single-design driver), else the class of the
+   first failing job — deterministic because results are in job order. *)
+let exit_code batch =
+  Array.fold_left
+    (fun acc r -> if acc <> 0 then acc else r.r_exit)
+    0 batch.b_results
+
+(* ---- Deterministic merges (job order) onto a main-domain sink. ---- *)
+
+let merged_counters batch =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (name, v) ->
+          Hashtbl.replace tbl name
+            (v + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+        r.r_counters)
+    batch.b_results;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merged_diagnostics batch =
+  Array.fold_left
+    (fun acc r ->
+      let own =
+        match r.r_resilient with None -> [] | Some res -> res.Compile.diagnostics
+      in
+      acc @ r.r_diags @ own)
+    [] batch.b_results
+
+let record_obs obs batch =
+  if Sink.enabled obs then begin
+    Sink.gauge obs "server.jobs_inflight_max"
+      (float_of_int batch.b_max_inflight);
+    Sink.gauge obs "server.workers" (float_of_int batch.b_jobs);
+    Array.iter
+      (fun r ->
+        Sink.incr obs "server.jobs";
+        Sink.incr obs ("server.cache." ^ cache_status_name r.r_cache);
+        (if r.r_exit <> 0 then Sink.incr obs "server.jobs_failed");
+        Sink.observe obs "server.queue_wait_us"
+          (int_of_float (r.r_queue_s *. 1e6));
+        Sink.observe obs "server.job_wall_us"
+          (int_of_float (r.r_wall_s *. 1e6)))
+      batch.b_results;
+    List.iter (fun (name, v) -> Sink.add obs name v) (merged_counters batch)
+  end
+
+(* ---- Long-lived serve loop: NDJSON requests on stdin, one record per
+   response line, summary at EOF.  Jobs run sequentially in request order
+   (the process-spanning cache still makes repeat designs warm). ---- *)
+
+let parse_request ~lineno line =
+  let module J = Diag.Json in
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else if line.[0] <> '{' then Ok (Some (line, None))
+  else
+    match J.parse line with
+    | Error msg ->
+        Error (Diag.error Diag.E_PARSE "request line %d: %s" lineno msg)
+    | Ok doc -> (
+        let id = Option.bind (J.mem "id" doc) J.str in
+        match Option.bind (J.mem "path" doc) J.str with
+        | Some path -> Ok (Some (path, id))
+        | None ->
+            Error
+              (Diag.error Diag.E_PARSE
+                 "request line %d: missing \"path\" member" lineno))
+
+let with_id id json =
+  match id with
+  | None -> json
+  | Some id ->
+      (* Splice {"id":...} in front of the record's first member. *)
+      Printf.sprintf "{\"id\":%s,%s"
+        (Diag.Json.string id)
+        (String.sub json 1 (String.length json - 1))
+
+let error_record ?id ~path diags =
+  let module J = Diag.Json in
+  let b = Buffer.create 256 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  J.field b ~first "schema" (J.string "msched-batch-1");
+  J.field b ~first "design" (J.string path);
+  J.field b ~first "cache" (J.string "off");
+  J.field b ~first "exit_code"
+    (string_of_int
+       (let rep = Diag.Report.create () in
+        Diag.Report.add_list rep diags;
+        Diag.Report.exit_code rep));
+  let diags_buf = Buffer.create 128 in
+  let rep = Diag.Report.create () in
+  Diag.Report.add_list rep diags;
+  Diag.Report.to_json_buf diags_buf rep;
+  J.field b ~first "diagnostics" (Buffer.contents diags_buf);
+  J.field b ~first "result" "null";
+  Buffer.add_char b '}';
+  with_id id (Buffer.contents b)
+
+let serve settings ic oc =
+  (match settings.s_cache_dir with
+  | Some dir -> Cache.ensure_dir dir
+  | None -> ());
+  let results = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let emit line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop lineno =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        (match parse_request ~lineno line with
+        | Ok None -> ()
+        | Error d -> emit (error_record ~path:"<request>" [ d ])
+        | Ok (Some (path, id)) -> (
+            let epoch = Unix.gettimeofday () in
+            match job_of_file ~index:(List.length !results) path with
+            | Error d -> emit (error_record ?id ~path [ d ])
+            | Ok job ->
+                let r = run_job settings ~epoch job in
+                results := r :: !results;
+                emit (with_id id (record_json r))));
+        loop (lineno + 1)
+  in
+  loop 1;
+  let batch =
+    {
+      b_results = Array.of_list (List.rev !results);
+      b_jobs = 1;
+      b_max_inflight = 1;
+      b_wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  emit (summary_json batch)

@@ -1,0 +1,110 @@
+(** Parallel batch-compile server.
+
+    Runs many designs through {!Msched.Compile.compile_resilient} on a
+    {!Pool} of worker domains, each job under an explicit per-job context
+    ({!job_ctx}: private options + observability sink + diagnostic report
+    + reroute context), with an optional process-spanning warm-route
+    {!Cache}.  Per-design output records are deterministic — byte-identical
+    across worker counts — because no mutable state is shared between
+    in-flight jobs (audit in [docs/SERVER.md]) and results merge in job
+    order.
+
+    Output is NDJSON: one [msched-batch-1] record per design (embedding
+    the job's [msched-driver-1] document) plus one [msched-batch-summary-1]
+    line; timing appears only in the summary. *)
+
+type job = {
+  j_index : int;  (** Position in the batch; results merge in this order. *)
+  j_path : string;  (** Display name (file path, or synthetic label). *)
+  j_text : string;  (** Netlist text, parsed inside the worker. *)
+}
+
+type settings = {
+  s_options : Msched.Compile.options;
+      (** Template; each job runs with a private copy (its own sink). *)
+  s_max_retries : int;
+  s_fallback_hard : bool;
+  s_reuse : bool;  (** Warm rerouting across retry rungs ([--cold] unsets). *)
+  s_cache_dir : string option;  (** Process-spanning warm-route cache. *)
+  s_obs_jobs : bool;
+      (** Give each job an enabled sink and merge its counters into the
+          server totals (on for [--trace]; off keeps probes free). *)
+}
+
+val default_settings : settings
+
+type cache_status = Cache_off | Cache_cold | Cache_warm | Cache_corrupt
+
+val cache_status_name : cache_status -> string
+
+type job_ctx = {
+  ctx_job : job;
+  ctx_options : Msched.Compile.options;  (** With this job's private sink. *)
+  ctx_obs : Msched_obs.Sink.t;
+  ctx_reroute : Msched_route.Reroute.t;  (** Warm-loaded, or fresh. *)
+  ctx_cache : cache_status;
+  ctx_key : string;  (** Content-hash cache key ([""] when cache off). *)
+  ctx_report : Msched_diag.Diag.Report.t;
+}
+(** Everything mutable a job touches, owned by that job alone. *)
+
+type job_result = {
+  r_job : job;
+  r_key : string;
+  r_cache : cache_status;
+  r_resilient : Msched.Compile.resilient option;
+      (** [None] when the design text did not parse. *)
+  r_diags : Msched_diag.Diag.t list;  (** Front-end / cache diagnostics. *)
+  r_exit : int;  (** The job's documented exit class (0 on success). *)
+  r_queue_s : float;  (** Batch start to job start. *)
+  r_wall_s : float;
+  r_counters : (string * int) list;  (** Job-sink counters ([s_obs_jobs]). *)
+}
+
+val make_ctx : settings -> job -> job_ctx
+val run_job : settings -> epoch:float -> job -> job_result
+
+type batch_result = {
+  b_results : job_result array;  (** In job order, always. *)
+  b_jobs : int;  (** Worker count actually used. *)
+  b_max_inflight : int;
+  b_wall_s : float;
+}
+
+val run_batch : ?jobs:int -> settings -> job list -> batch_result
+(** [jobs] is clamped to [1 .. length job_list].  Creates the cache
+    directory when [s_cache_dir] is set. *)
+
+val job_of_text : index:int -> path:string -> string -> job
+val job_of_file : index:int -> string -> (job, Msched_diag.Diag.t) result
+
+val record_json : job_result -> string
+(** One deterministic [msched-batch-1] object (no timing fields). *)
+
+val summary_json : batch_result -> string
+(** The [msched-batch-summary-1] line (carries all the timing). *)
+
+val to_ndjson : batch_result -> string
+(** All records, one per line, then the summary line. *)
+
+val exit_code : batch_result -> int
+(** 0 when every job compiled (degraded counts as success), else the exit
+    class of the first failing job in job order. *)
+
+val merged_counters : batch_result -> (string * int) list
+(** Per-job sink counters summed in job order, sorted by name. *)
+
+val merged_diagnostics : batch_result -> Msched_diag.Diag.t list
+(** Every job's diagnostics (front-end, cache, driver), in job order. *)
+
+val record_obs : Msched_obs.Sink.t -> batch_result -> unit
+(** Record the [server.*] metrics (queue wait, job wall, cache hit/miss,
+    in-flight high-water mark) plus the merged job counters onto a
+    main-domain sink.  Call after {!run_batch}; no-op on a null sink. *)
+
+val serve : settings -> in_channel -> out_channel -> unit
+(** Long-lived loop: one NDJSON request ([{"path": ..., "id"?: ...}] or a
+    bare path) per stdin line, one [msched-batch-1] response line each
+    (with the request [id] spliced in when given), summary line at EOF.
+    Requests run sequentially; the warm-route cache persists across
+    requests. *)

@@ -28,4 +28,5 @@ let () =
       ("forward", Test_forward.suite);
       ("compile", Test_compile.suite);
       ("obs", Test_obs.suite);
+      ("server", Test_server.suite);
     ]

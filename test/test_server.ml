@@ -1,0 +1,359 @@
+(* Batch-compile server: the Domain worker pool must be a deterministic
+   map (jobs=4 output byte-identical to jobs=1 over a seeded corpus), and
+   the process-spanning warm-route cache must round-trip exactly, replay
+   equivalently to an in-process warm context, and degrade to cold (with
+   the documented E_CACHE warning) on corrupt files. *)
+
+module Ids = Msched_netlist.Ids
+module Serial = Msched_netlist.Serial
+module Tiers = Msched_route.Tiers
+module Reroute = Msched_route.Reroute
+module Design_gen = Msched_gen.Design_gen
+module Verify = Msched_check.Verify
+module Compile = Msched.Compile
+module Diag = Msched_diag.Diag
+module Pool = Msched_server.Pool
+module Cache = Msched_server.Cache
+module Manifest = Msched_server.Manifest
+module Server = Msched_server.Server
+
+let design ~seed ~modules ~domains =
+  (Design_gen.random_multidomain ~seed ~domains ~modules ~mts_fraction:0.25 ())
+    .Design_gen.netlist
+
+let design_text ~seed ~modules ~domains =
+  Serial.to_string (design ~seed ~modules ~domains)
+
+(* A throwaway directory per test; the suite runs in dune's sandbox. *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "msched-server-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    Cache.ensure_dir dir;
+    dir
+
+(* Same congestion point as test_reroute: tight enough that the baseline
+   rung fails and the ladder (and hence the reroute ledger) does real
+   work. *)
+let tight_options =
+  {
+    Compile.default_options with
+    Compile.max_block_weight = 32;
+    pins_per_fpga = 24;
+    route = { Tiers.default_options with Tiers.max_extra_slots = 0 };
+  }
+
+(* ---- Worker pool. ---- *)
+
+let test_pool_deterministic_map () =
+  let tasks = Array.init 100 (fun i -> i) in
+  let f x = (x * 37) mod 101 in
+  let seq, _ = Pool.map ~jobs:1 f tasks in
+  let par, stats = Pool.map ~jobs:4 f tasks in
+  Alcotest.(check (array int)) "parallel map equals sequential" seq par;
+  Alcotest.(check bool) "pool actually ran work" true (stats.Pool.max_inflight >= 1)
+
+let test_pool_propagates_exceptions () =
+  let tasks = Array.init 8 (fun i -> i) in
+  match Pool.map ~jobs:3 (fun i -> if i = 5 then failwith "boom" else i) tasks with
+  | _ -> Alcotest.fail "expected the worker exception to re-raise"
+  | exception Failure m -> Alcotest.(check string) "exception carried" "boom" m
+
+(* ---- Determinism: jobs=4 byte-identical to jobs=1 over >= 30 designs. ---- *)
+
+let corpus () =
+  (* 3 size classes x 11 seeds = 33 designs. *)
+  let specs = [ (6, 2); (10, 3); (14, 4) ] in
+  List.concat_map
+    (fun (modules, domains) ->
+      List.init 11 (fun i ->
+          let seed = 300 + (13 * modules) + i in
+          let path = Printf.sprintf "corpus/m%d-d%d-s%d.mnl" modules domains seed in
+          (path, design_text ~seed ~modules ~domains)))
+    specs
+
+let jobs_of corpus =
+  List.mapi (fun index (path, text) -> Server.job_of_text ~index ~path text) corpus
+
+let records batch =
+  Array.to_list (Array.map Server.record_json batch.Server.b_results)
+
+let test_batch_determinism () =
+  let corpus = corpus () in
+  Alcotest.(check bool) "corpus is >= 30 designs" true (List.length corpus >= 30);
+  let b1 = Server.run_batch ~jobs:1 Server.default_settings (jobs_of corpus) in
+  let b4 = Server.run_batch ~jobs:4 Server.default_settings (jobs_of corpus) in
+  (* Byte-identical per-design records: same schedules, lengths, Hz,
+     attempt ladders and diagnostics — the whole msched-driver-1 document
+     (options.verify is on, so success also means verifier-clean). *)
+  List.iteri
+    (fun i (r1, r4) ->
+      Alcotest.(check string)
+        (Printf.sprintf "record %d identical across worker counts" i)
+        r1 r4)
+    (List.combine (records b1) (records b4));
+  (* The corpus must actually compile (not vacuous identical failures). *)
+  let compiled =
+    Array.fold_left
+      (fun n r -> if r.Server.r_exit = 0 then n + 1 else n)
+      0 b4.Server.b_results
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "most designs compiled (%d/%d)" compiled
+       (List.length corpus))
+    true
+    (compiled > List.length corpus / 2);
+  Alcotest.(check int) "exit code identical" (Server.exit_code b1)
+    (Server.exit_code b4)
+
+(* ---- Reroute cache: round-trip, warm-from-disk, corruption. ---- *)
+
+let test_reroute_round_trip () =
+  let nl = design ~seed:517 ~modules:30 ~domains:3 in
+  let ctx = Reroute.create () in
+  let r =
+    Compile.compile_resilient ~options:tight_options ~max_retries:2
+      ~fallback_hard:true ~reroute:ctx nl
+  in
+  Alcotest.(check bool) "congested design recovered" true (Compile.succeeded r);
+  Alcotest.(check bool) "ledger non-trivial" true (Reroute.ledger_size ctx > 0);
+  let s1 = Reroute.to_json_string ctx in
+  match Reroute.of_json_string s1 with
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+  | Ok ctx2 ->
+      Alcotest.(check string) "canonical re-serialization byte-identical" s1
+        (Reroute.to_json_string ctx2);
+      Alcotest.(check int) "ledger size preserved" (Reroute.ledger_size ctx)
+        (Reroute.ledger_size ctx2);
+      Alcotest.(check int) "history total preserved"
+        (Reroute.history_total ctx)
+        (Reroute.history_total ctx2);
+      Alcotest.(check int) "forced-hard set preserved"
+        (Reroute.forced_hard_count ctx)
+        (Reroute.forced_hard_count ctx2);
+      (* Stats are per-run state: a deserialized context starts clean. *)
+      Alcotest.(check int) "stats reset on load" 0 (Reroute.reused ctx2)
+
+let labels r = List.map (fun a -> a.Compile.attempt_label) r.Compile.attempts
+
+let hz r =
+  match r.Compile.degradation.Compile.achieved_hz with
+  | None -> 0.0
+  | Some hz -> hz
+
+let check_clean name r =
+  match r.Compile.compiled with
+  | None -> ()
+  | Some c ->
+      Alcotest.(check bool) (name ^ ": verifier clean") true
+        (Verify.is_clean
+           (Compile.verify_schedule c.Compile.prepared c.Compile.schedule))
+
+let test_warm_from_disk_equivalent () =
+  let nl = design ~seed:517 ~modules:30 ~domains:3 in
+  let run ctx =
+    Compile.compile_resilient ~options:tight_options ~max_retries:2
+      ~fallback_hard:true ~reroute:ctx nl
+  in
+  (* First run learns; its context is both kept in-process and persisted. *)
+  let c_mem = Reroute.create () in
+  let r0 = run c_mem in
+  Alcotest.(check bool) "first run succeeded" true (Compile.succeeded r0);
+  let serialized = Reroute.to_json_string c_mem in
+  let c_disk =
+    match Reroute.of_json_string serialized with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "deserialize failed: %s" msg
+  in
+  (* Re-run warm twice: once against the in-process context, once against
+     the disk round-tripped one.  Outcomes must match exactly. *)
+  let r_mem = run c_mem in
+  let r_disk = run c_disk in
+  Alcotest.(check (list string)) "same attempt ladder" (labels r_mem)
+    (labels r_disk);
+  Alcotest.(check (float 0.0)) "same emulation frequency" (hz r_mem) (hz r_disk);
+  Alcotest.(check bool) "disk-warm replayed the ledger" true
+    (r_disk.Compile.degradation.Compile.reused_transports > 0);
+  check_clean "disk-warm" r_disk;
+  check_clean "in-process warm" r_mem
+
+let test_corrupt_cache_degrades_cold () =
+  let dir = fresh_dir () in
+  let text = design_text ~seed:611 ~modules:10 ~domains:2 in
+  let options = Server.default_settings.Server.s_options in
+  let key = Cache.key ~text ~options in
+  (* A truncated document: parseable prefix, invalid JSON overall. *)
+  let nl = design ~seed:611 ~modules:10 ~domains:2 in
+  let ctx = Reroute.create () in
+  ignore (Compile.compile_resilient ~reroute:ctx nl);
+  let whole = Reroute.to_json_string ctx in
+  let oc = open_out (Cache.file ~dir ~key) in
+  output_string oc (String.sub whole 0 (String.length whole / 2));
+  close_out oc;
+  (match Cache.load ~dir ~key with
+  | Cache.Corrupt d ->
+      Alcotest.(check string) "corruption carries E_CACHE" "E_CACHE"
+        (Diag.code_name d.Diag.code);
+      Alcotest.(check bool) "warning, not error" false (Diag.is_error d)
+  | Cache.Hit _ -> Alcotest.fail "truncated cache file accepted"
+  | Cache.Miss -> Alcotest.fail "truncated cache file invisible");
+  (* End to end: the job still compiles, reports cache=corrupt, and
+     surfaces the warning in its record. *)
+  let settings =
+    { Server.default_settings with Server.s_cache_dir = Some dir }
+  in
+  let job = Server.job_of_text ~index:0 ~path:"corrupt-test.mnl" text in
+  let batch = Server.run_batch ~jobs:1 settings [ job ] in
+  let r = batch.Server.b_results.(0) in
+  Alcotest.(check string) "status corrupt" "corrupt"
+    (Server.cache_status_name r.Server.r_cache);
+  Alcotest.(check int) "job still compiled" 0 r.Server.r_exit;
+  Alcotest.(check bool) "E_CACHE diagnostic surfaced" true
+    (List.exists (fun d -> d.Diag.code = Diag.E_CACHE) r.Server.r_diags);
+  Alcotest.(check bool) "record mentions corrupt cache" true
+    (let json = Server.record_json r in
+     let needle = "\"cache\":\"corrupt\"" in
+     let n = String.length json and m = String.length needle in
+     let rec find i = i + m <= n && (String.sub json i m = needle || find (i + 1)) in
+     find 0);
+  (* The corrupt entry was overwritten by the successful run: next load is
+     a hit. *)
+  match Cache.load ~dir ~key with
+  | Cache.Hit _ -> ()
+  | _ -> Alcotest.fail "cache not repaired after successful compile"
+
+let test_cache_spans_processes_effort () =
+  (* Warm-from-cache must not change results but must skip search work:
+     strictly fewer pathfinder expansions than the cold run of the same
+     congested design (the per-process analogue of test_reroute's
+     warm-vs-cold differential). *)
+  let dir = fresh_dir () in
+  let text = Serial.to_string (design ~seed:517 ~modules:30 ~domains:3) in
+  let settings =
+    {
+      Server.default_settings with
+      Server.s_options = tight_options;
+      s_max_retries = 2;
+      s_fallback_hard = true;
+      s_cache_dir = Some dir;
+    }
+  in
+  let job = Server.job_of_text ~index:0 ~path:"congested.mnl" text in
+  let run () = Server.run_batch ~jobs:1 settings [ job ] in
+  let cold = (run ()).Server.b_results.(0) in
+  let warm = (run ()).Server.b_results.(0) in
+  Alcotest.(check string) "cold then warm"
+    "cold/warm"
+    (Server.cache_status_name cold.Server.r_cache
+    ^ "/"
+    ^ Server.cache_status_name warm.Server.r_cache);
+  let resilient r =
+    match r.Server.r_resilient with
+    | Some res -> res
+    | None -> Alcotest.fail "job did not reach the driver"
+  in
+  let total_expansions r =
+    List.fold_left
+      (fun acc a -> acc + a.Compile.attempt_expansions)
+      0 (resilient r).Compile.attempts
+  in
+  Alcotest.(check (float 0.0)) "same Hz from disk-warm start"
+    (hz (resilient cold))
+    (hz (resilient warm));
+  Alcotest.(check bool) "disk-warm run searches strictly less" true
+    (total_expansions warm < total_expansions cold);
+  Alcotest.(check bool) "disk-warm run replays the ledger" true
+    ((resilient warm).Compile.degradation.Compile.reused_transports > 0)
+
+(* ---- Manifest sources. ---- *)
+
+let test_manifest_sources () =
+  let dir = fresh_dir () in
+  let sub = Filename.concat dir "sub" in
+  Cache.ensure_dir sub;
+  let write path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  write (Filename.concat dir "b.mnl") "design b\n";
+  write (Filename.concat dir "a.mnl") "design a\n";
+  write (Filename.concat sub "c.mnl") "design c\n";
+  write (Filename.concat dir "ignored.txt") "not a netlist\n";
+  (match Manifest.load dir with
+  | Error _ -> Alcotest.fail "directory scan failed"
+  | Ok entries ->
+      Alcotest.(check (list string))
+        "recursive *.mnl scan, sorted"
+        [
+          Filename.concat dir "a.mnl";
+          Filename.concat dir "b.mnl";
+          Filename.concat sub "c.mnl";
+        ]
+        (List.map (fun e -> e.Manifest.e_path) entries));
+  let manifest = Filename.concat dir "jobs.txt" in
+  write manifest "# comment\na.mnl\n{\"path\":\"sub/c.mnl\"}\n\n";
+  (match Manifest.load manifest with
+  | Error _ -> Alcotest.fail "manifest parse failed"
+  | Ok entries ->
+      Alcotest.(check (list string))
+        "paths resolve against the manifest directory"
+        [ Filename.concat dir "a.mnl"; Filename.concat dir "sub/c.mnl" ]
+        (List.map (fun e -> e.Manifest.e_path) entries));
+  let bad = Filename.concat dir "bad.txt" in
+  write bad "{\"nope\":1}\n{not json\n";
+  match Manifest.load bad with
+  | Ok _ -> Alcotest.fail "bad manifest accepted"
+  | Error diags ->
+      Alcotest.(check int) "one diagnostic per bad line" 2 (List.length diags);
+      List.iter
+        (fun d ->
+          Alcotest.(check string) "manifest errors are E_PARSE" "E_PARSE"
+            (Diag.code_name d.Diag.code))
+        diags
+
+(* ---- Exit classes surface per job. ---- *)
+
+let test_batch_exit_classes () =
+  let jobs =
+    [
+      Server.job_of_text ~index:0 ~path:"good.mnl"
+        (design_text ~seed:801 ~modules:6 ~domains:2);
+      Server.job_of_text ~index:1 ~path:"broken.mnl" "design broken\nnet x\n";
+    ]
+  in
+  let batch = Server.run_batch ~jobs:2 Server.default_settings jobs in
+  Alcotest.(check int) "good job exit 0" 0 batch.Server.b_results.(0).Server.r_exit;
+  Alcotest.(check int) "parse failure exit 3" 3
+    batch.Server.b_results.(1).Server.r_exit;
+  Alcotest.(check bool) "parse failure has no driver result" true
+    (batch.Server.b_results.(1).Server.r_resilient = None);
+  Alcotest.(check int) "batch exit is first failing class" 3
+    (Server.exit_code batch)
+
+let suite =
+  [
+    Alcotest.test_case "pool: parallel map deterministic" `Quick
+      test_pool_deterministic_map;
+    Alcotest.test_case "pool: worker exceptions re-raise" `Quick
+      test_pool_propagates_exceptions;
+    Alcotest.test_case "batch: jobs=4 byte-identical to jobs=1 (33 designs)"
+      `Slow test_batch_determinism;
+    Alcotest.test_case "reroute cache: serialize/deserialize round-trip"
+      `Quick test_reroute_round_trip;
+    Alcotest.test_case "reroute cache: disk-warm equivalent to in-process warm"
+      `Quick test_warm_from_disk_equivalent;
+    Alcotest.test_case "reroute cache: corrupt file degrades to cold" `Quick
+      test_corrupt_cache_degrades_cold;
+    Alcotest.test_case "reroute cache: warm spans processes, less search"
+      `Quick test_cache_spans_processes_effort;
+    Alcotest.test_case "manifest: dir scan and file entries" `Quick
+      test_manifest_sources;
+    Alcotest.test_case "batch: per-job exit classes" `Quick
+      test_batch_exit_classes;
+  ]
