@@ -250,12 +250,59 @@ let batch_doc () =
      else 0.0)
     (count Server.Cache_warm warm)
 
+(* The GALS/handshake workload families (ISSUE 6), through the shared
+   generator-spec parser: per spec, how MTS fraction and domain count drive
+   schedule length and estimated emulation frequency.  Default pins/weight
+   (not the bench's tightened [options]): these rows chart scheduling
+   scaling, not congestion recovery. *)
+let workloads_doc () =
+  let module Verify = Msched_check.Verify in
+  let module Diag = Msched_diag.Diag in
+  let point spec =
+    let design =
+      match Design_gen.of_spec spec with
+      | Ok d -> d
+      | Error d -> raise (Diag.Fail d)
+    in
+    let prepared = Msched.Compile.prepare design.Design_gen.netlist in
+    let sched = Msched.Compile.route prepared Tiers.default_options in
+    let report = Msched.Compile.verify_schedule prepared sched in
+    Printf.sprintf
+      "{\"spec\":%s,\"domains\":%d,\"modules\":%d,\"mts_modules\":%d,\"mts_fraction\":%.4f,\"mts_paths\":%d,\"schedule_length\":%d,\"est_speed_hz\":%.1f,\"verifier_clean\":%b}"
+      (Diag.Json.string spec)
+      (Netlist.num_domains design.Design_gen.netlist)
+      design.Design_gen.modules design.Design_gen.mts_modules
+      (float_of_int design.Design_gen.mts_modules
+      /. float_of_int (max 1 design.Design_gen.modules))
+      (Msched_mts.Classify.num_mts_paths prepared.Msched.Compile.classification)
+      sched.Msched_route.Schedule.length
+      (Msched_route.Schedule.est_speed_hz sched)
+      (Verify.is_clean report)
+  in
+  let family name specs =
+    Printf.sprintf "\"%s\":[%s]" name
+      (String.concat "," (List.map point specs))
+  in
+  Printf.sprintf "{%s,%s,%s}"
+    (family "gals"
+       (List.map
+          (fun islands -> Printf.sprintf "gals:islands=%d,size=2" islands)
+          [ 4; 8; 16 ]))
+    (family "dense"
+       (List.map
+          (fun density -> Printf.sprintf "dense:domains=12,density=%g" density)
+          [ 0.1; 0.3; 0.6 ]))
+    (family "fabric"
+       (List.map
+          (fun banks -> Printf.sprintf "fabric:banks=%d,domains=4" banks)
+          [ 4; 8; 16 ]))
+
 let write_pipeline_json path =
   let doc =
     Printf.sprintf
-      "{\"schema\":\"msched-bench-pipeline-3\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s}\n"
+      "{\"schema\":\"msched-bench-pipeline-4\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s,\"workloads\":%s}\n"
       (pipeline_doc design1) (pipeline_doc design2) (driver_doc ())
-      (batch_doc ())
+      (batch_doc ()) (workloads_doc ())
   in
   let oc = open_out path in
   output_string oc doc;

@@ -20,14 +20,18 @@ let setup_logs () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Legacy names keep their scale/seed plumbing; anything else goes through
+   the shared generator-spec parser (same grammar as `msched gen`). *)
 let design_of_name name scale seed =
   match name with
   | "design1" -> Design_gen.design1_like ?seed ~scale ()
   | "design2" -> Design_gen.design2_like ?seed ~scale ()
-  | "fig1" -> Design_gen.fig1 ()
-  | "fig3" -> Design_gen.fig3_latch ()
-  | "handshake" -> Design_gen.handshake ()
-  | other -> failwith (Printf.sprintf "unknown design %S" other)
+  | spec -> (
+      match Design_gen.of_spec spec with
+      | Ok d -> d
+      | Error d ->
+          Format.eprintf "%a@." Msched_diag.Diag.pp d;
+          exit (Msched_diag.Diag.exit_code d.Msched_diag.Diag.code))
 
 let table1 scale pins weight trace json =
   setup_logs ();
@@ -227,6 +231,55 @@ let domains_sweep max_domains horizon =
          else Format.asprintf "%a" Fidelity.pp_report r))
     (List.init (max_domains - 1) (fun i -> i + 2))
 
+(* The workload families (ISSUE 6): how MTS fraction and domain count
+   drive schedule length and emulation frequency on the GALS/handshake
+   topologies of arXiv 0802.3441 / 0710.4711 — the scaling rows the paper
+   could not show on its two proprietary ASICs. *)
+let workloads_rows () =
+  List.concat
+    [
+      List.map
+        (fun islands -> Printf.sprintf "gals:islands=%d,size=2" islands)
+        [ 4; 8; 12; 16 ];
+      List.map
+        (fun density -> Printf.sprintf "dense:domains=12,density=%g" density)
+        [ 0.1; 0.3; 0.6 ];
+      List.map
+        (fun banks -> Printf.sprintf "fabric:banks=%d,domains=4" banks)
+        [ 4; 8; 16 ];
+    ]
+
+let workloads horizon =
+  setup_logs ();
+  Format.printf "%-28s %-8s %-8s %-9s %-10s %-12s %-10s %s@." "spec" "domains"
+    "modules" "mts_frac" "mts_paths" "L(vclocks)" "est_kHz" "verify";
+  List.iter
+    (fun spec ->
+      let design = design_of_name spec 0.1 None in
+      let prepared = Msched.Compile.prepare design.Design_gen.netlist in
+      let sched = Msched.Compile.route prepared Tiers.default_options in
+      let report = Msched.Compile.verify_schedule prepared sched in
+      let clocks =
+        Async_gen.clocks ~seed:11
+          (Netlist.domains prepared.Msched.Compile.netlist)
+      in
+      let f =
+        Fidelity.compare_run prepared.Msched.Compile.placement sched ~clocks
+          ~horizon_ps:horizon ~seed:11 ()
+      in
+      Format.printf "%-28s %-8d %-8d %-9.3f %-10d %-12d %-10.1f %s@." spec
+        (Netlist.num_domains design.Design_gen.netlist)
+        design.Design_gen.modules
+        (float_of_int design.Design_gen.mts_modules
+        /. float_of_int (max 1 design.Design_gen.modules))
+        (Msched_mts.Classify.num_mts_paths prepared.Msched.Compile.classification)
+        sched.Schedule.length
+        (Schedule.est_speed_hz sched /. 1000.0)
+        (if not (Msched_check.Verify.is_clean report) then "UNCLEAN"
+         else if Fidelity.perfect f then "clean+perfect"
+         else "clean"))
+    (workloads_rows ())
+
 (* ------------------------------------------------------------------ *)
 
 open Cmdliner
@@ -265,6 +318,14 @@ let json_arg =
   let doc = "Write the observability JSON document (\"-\" = stdout)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let workloads_cmd =
+  Cmd.v
+    (Cmd.info "workloads"
+       ~doc:
+         "Scaling table over the GALS/handshake workload families: schedule \
+          length and emulation frequency vs domain count and MTS fraction")
+    Term.(const workloads $ horizon_arg)
+
 let domains_cmd =
   Cmd.v
     (Cmd.info "domains"
@@ -301,4 +362,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ table1_cmd; figure8_cmd; fidelity_cmd; ablation_cmd; domains_cmd ]))
+          [
+            table1_cmd;
+            figure8_cmd;
+            fidelity_cmd;
+            ablation_cmd;
+            domains_cmd;
+            workloads_cmd;
+          ]))

@@ -1,16 +1,22 @@
 (* File-based compiler driver: operate on netlists in the text format of
    Msched_netlist.Serial (extension-agnostic; see lib/netlist/serial.mli).
 
-     msched compile  design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive]
+     msched compile  design.mnl|SPEC [--pins N] [--weight N] [--mode virtual|hard|naive]
                      [--forward] [--retries N] [--fallback-hard] [--cold]
                      [--max-extra N] [--diag-json FILE]
      msched lint     design.mnl [--diag-json FILE]
-     msched check    design.mnl [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
+     msched check    design.mnl|SPEC [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
      msched stats    design.mnl
      msched dot      design.mnl [--partition] > design.dot
      msched simulate design.mnl [--horizon PS] [--seed N] [--diag-json FILE]
-     msched profile  design.mnl|design1|design2|fig1|fig3|handshake [--trace FILE]
-     msched gen      design1|design2|fig1|fig3|handshake [--scale F] > design.mnl
+     msched profile  design.mnl|SPEC [--trace FILE]
+     msched gen      SPEC [--scale F] > design.mnl
+
+   SPEC is a generator spec in the grammar of Design_gen.of_spec — e.g.
+   "design2:scale=0.05", "gals:islands=16,size=8",
+   "dense:domains=24,density=0.3", "fabric:banks=12" — the same parser the
+   bench and experiment harness use.  A malformed spec is an E_PARSE
+   diagnostic (exit 3), like any other malformed input.
 
    compile/check/simulate/profile accept --trace FILE to dump a Chrome
    trace-event JSON of the run ("-" = stdout); diagnostics of check go to
@@ -75,6 +81,26 @@ let read_netlist path =
   | Error diags ->
       print_diags path diags;
       exit (Diag.Report.exit_code (report_of diags))
+
+(* compile/check/profile/gen accept either a netlist file or a generator
+   spec; one parser (Design_gen.of_spec) is shared with the bench and the
+   experiment harness. *)
+let design_of_spec spec =
+  match Design_gen.of_spec spec with
+  | Ok d -> d
+  | Error d ->
+      Format.eprintf "%a@." Diag.pp d;
+      exit (Diag.exit_code d.Diag.code)
+
+(* [scale] applies only to the bare legacy names [design1]/[design2]; specs
+   carry their own parameters. *)
+let netlist_of_design_arg ?(scale = 0.1) name =
+  if Sys.file_exists name then read_netlist name
+  else
+    match name with
+    | "design1" -> (Design_gen.design1_like ~scale ()).Design_gen.netlist
+    | "design2" -> (Design_gen.design2_like ~scale ()).Design_gen.netlist
+    | spec -> (design_of_spec spec).Design_gen.netlist
 
 (* Every command runs under this wrapper: structured failures print their
    diagnostic and exit with the documented class; nothing escapes as an
@@ -158,7 +184,7 @@ let pp_compiled ppf pins (c : Msched.Compile.compiled) =
 let compile_cmd path pins weight mode forward retries fallback_hard cold
     max_extra trace diag_json =
   protect @@ fun () ->
-  let nl = read_netlist path in
+  let nl = netlist_of_design_arg path in
   let obs = sink_of_trace trace in
   let ropts = route_options_of mode in
   let ropts =
@@ -223,7 +249,7 @@ let lint_cmd path diag_json =
 
 let check_cmd path pins weight mode forward trace =
   protect @@ fun () ->
-  let nl = read_netlist path in
+  let nl = netlist_of_design_arg path in
   let obs = sink_of_trace trace in
   let prepared =
     Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
@@ -304,27 +330,9 @@ let simulate_cmd path horizon seed pins weight trace diag_json =
     Format.eprintf "%s: %a@." path Diag.pp d;
     exit (Diag.exit_code d.Diag.code)
 
-(* [profile] accepts either a netlist file or a built-in generator name, so
-   CI and quick profiling sessions need no intermediate file. *)
-let profile_netlist name scale =
-  if Sys.file_exists name then read_netlist name
-  else
-    match name with
-    | "design1" -> (Design_gen.design1_like ~scale ()).Design_gen.netlist
-    | "design2" -> (Design_gen.design2_like ~scale ()).Design_gen.netlist
-    | "fig1" -> (Design_gen.fig1 ()).Design_gen.netlist
-    | "fig3" -> (Design_gen.fig3_latch ()).Design_gen.netlist
-    | "handshake" -> (Design_gen.handshake ()).Design_gen.netlist
-    | other ->
-        Printf.eprintf
-          "%s: not a file or a generator name \
-           (design1|design2|fig1|fig3|handshake)\n"
-          other;
-        exit 1
-
 let profile_cmd name pins weight scale trace json =
   protect @@ fun () ->
-  let nl = profile_netlist name scale in
+  let nl = netlist_of_design_arg ~scale name in
   let obs = Sink.create () in
   let prepared =
     Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
@@ -426,16 +434,12 @@ let serve_cmd use_stdin cache_dir pins weight mode retries fallback_hard cold
   Server.serve settings stdin stdout
 
 let gen_cmd name scale =
+  protect @@ fun () ->
   let design =
     match name with
     | "design1" -> Design_gen.design1_like ~scale ()
     | "design2" -> Design_gen.design2_like ~scale ()
-    | "fig1" -> Design_gen.fig1 ()
-    | "fig3" -> Design_gen.fig3_latch ()
-    | "handshake" -> Design_gen.handshake ()
-    | other ->
-        Printf.eprintf "unknown design %s\n" other;
-        exit 1
+    | spec -> design_of_spec spec
   in
   print_string (Serial.to_string design.Design_gen.netlist)
 
@@ -443,6 +447,15 @@ open Cmdliner
 
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN" ~doc:"Netlist file")
+
+let design_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DESIGN"
+        ~doc:
+          (Printf.sprintf "Netlist file, or generator spec: %s"
+             Design_gen.spec_help))
 
 let pins_arg = Arg.(value & opt int 240 & info [ "pins" ] ~doc:"Pins per FPGA")
 let weight_arg = Arg.(value & opt int 64 & info [ "weight" ] ~doc:"Block capacity")
@@ -510,7 +523,9 @@ let name_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"NAME" ~doc:"design1|design2|fig1|fig3|handshake")
+    & info [] ~docv:"SPEC"
+        ~doc:
+          (Printf.sprintf "Generator spec: %s" Design_gen.spec_help))
 
 let source_arg =
   Arg.(
@@ -557,18 +572,12 @@ let stdin_flag_arg =
            paths, one per line) from standard input; respond with one \
            record per line and a summary at EOF")
 
-let profile_name_arg =
-  Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"DESIGN"
-        ~doc:"Netlist file, or generator name design1|design2|fig1|fig3|handshake")
 
 let cmds =
   [
     Cmd.v (Cmd.info "compile" ~doc:"Compile a netlist and print the schedule")
       Term.(
-        const compile_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg
+        const compile_cmd $ design_arg $ pins_arg $ weight_arg $ mode_arg
         $ forward_arg $ retries_arg $ fallback_hard_arg $ cold_arg
         $ max_extra_arg $ trace_arg $ diag_json_arg);
     Cmd.v
@@ -581,7 +590,7 @@ let cmds =
       (Cmd.info "check"
          ~doc:"Compile a netlist and statically verify the schedule")
       Term.(
-        const check_cmd $ path_arg $ pins_arg $ weight_arg $ mode_arg
+        const check_cmd $ design_arg $ pins_arg $ weight_arg $ mode_arg
         $ forward_arg $ trace_arg);
     Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
       Term.(const stats_cmd $ path_arg);
@@ -597,7 +606,7 @@ let cmds =
            "Run the full pipeline (prepare, both schedulers, verifier) with \
             an enabled observability sink and print the span/metric summary")
       Term.(
-        const profile_cmd $ profile_name_arg $ pins_arg $ weight_arg
+        const profile_cmd $ design_arg $ pins_arg $ weight_arg
         $ scale_arg $ trace_arg $ json_arg);
     Cmd.v (Cmd.info "vcd" ~doc:"Golden-simulate and dump a VCD waveform to stdout")
       Term.(const vcd_cmd $ path_arg $ horizon_arg $ seed_arg);

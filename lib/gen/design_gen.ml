@@ -1,5 +1,6 @@
 open Msched_netlist
 module B = Netlist.Builder
+module Diag = Msched_diag.Diag
 
 type design = {
   netlist : Netlist.t;
@@ -7,6 +8,17 @@ type design = {
   modules : int;
   mts_modules : int;
 }
+
+(* Generator parameters are user input (CLI specs, bench configs), so
+   out-of-range values surface as structured E_PARSE diagnostics — exit
+   class 3, malformed input — instead of silently clamping or looping. *)
+let check_arg cond fmt =
+  Format.kasprintf
+    (fun msg -> if not cond then Diag.fail Diag.E_PARSE "generator: %s" msg)
+    fmt
+
+let check_fraction name v =
+  check_arg (v >= 0.0 && v <= 1.0) "%s %g outside [0,1]" name v
 
 (* ------------------------------------------------------------------ *)
 (* Paper Figure 1: Q transitions and is sampled in both domains.       *)
@@ -331,8 +343,21 @@ let xwrite_ram_module st da db ~addr_bits =
 let generate ~label ~seed ~domains ~modules ~mts_fraction ~mem_fraction
     ~gates_per_module ~ffs_per_module ~addr_bits ~mem_width ~fanin ~mts_ffs
     ~xwrite_rams =
-  if domains < 1 then invalid_arg "generate: domains";
-  if modules < 1 then invalid_arg "generate: modules";
+  check_arg (domains >= 1) "domains must be >= 1, got %d" domains;
+  check_arg (modules >= 1) "modules must be >= 1, got %d" modules;
+  check_fraction "mts_fraction" mts_fraction;
+  check_fraction "mem_fraction" mem_fraction;
+  check_arg (gates_per_module >= 0) "gates_per_module must be >= 0, got %d"
+    gates_per_module;
+  check_arg (ffs_per_module >= 0) "ffs_per_module must be >= 0, got %d"
+    ffs_per_module;
+  check_arg (fanin >= 1) "fanin must be >= 1, got %d" fanin;
+  check_arg
+    (addr_bits >= 1 && addr_bits <= 10)
+    "addr_bits must be in [1,10], got %d" addr_bits;
+  check_arg (mem_width >= 1) "mem_width must be >= 1, got %d" mem_width;
+  check_arg (mts_ffs >= 0) "mts_ffs must be >= 0, got %d" mts_ffs;
+  check_arg (xwrite_rams >= 0) "xwrite_rams must be >= 0, got %d" xwrite_rams;
   let builder = B.create ~design_name:label () in
   let doms =
     Array.init domains (fun i ->
@@ -434,3 +459,483 @@ let design2_like ?(seed = 202) ?(scale = 0.1) () =
     ~mts_fraction:(47.0 /. 2008.0) ~mem_fraction:(89.0 /. 2008.0)
     ~gates_per_module:6 ~ffs_per_module:2 ~addr_bits:6 ~mem_width:4 ~fanin:4
     ~mts_ffs:0 ~xwrite_rams:0
+
+(* ------------------------------------------------------------------ *)
+(* GALS and handshake-dominated workload families (ROADMAP scenario
+   diversity; shapes from arXiv 0802.3441 and 0710.4711).              *)
+
+(* Seed each domain pool with a couple of registered primary inputs so
+   [pool_pick] never has to invent ad-hoc inputs mid-module. *)
+let seed_pools st ~per_domain =
+  Array.iteri
+    (fun d dom ->
+      for _ = 1 to per_domain do
+        let i = B.add_input st.builder ~domain:dom () in
+        let q =
+          B.add_flip_flop st.builder ~data:i ~clock:(Cell.Dom_clock dom) ()
+        in
+        pool_add st d q
+      done)
+    st.doms
+
+(* Observe the head of every domain pool so no domain's logic is dead. *)
+let observe_pools st =
+  Array.iteri
+    (fun d _ ->
+      match st.pools.(d) with
+      | n :: _ ->
+          let (_ : Ids.Cell.t) = B.add_output st.builder n in
+          ()
+      | [] -> ())
+    st.doms
+
+let fresh_state ~label ~seed ~domain_name ~domains =
+  let builder = B.create ~design_name:label () in
+  let doms =
+    Array.init domains (fun i -> B.add_domain builder (domain_name i))
+  in
+  let clks = Array.map (fun d -> B.add_clock_source builder d) doms in
+  let st =
+    {
+      rng = Random.State.make [| seed; domains; Hashtbl.hash label |];
+      builder;
+      doms;
+      pools = Array.make domains [];
+      outputs_made = 0;
+    }
+  in
+  (st, clks)
+
+(* A chain of [depth] flip-flops in domain [d] — the synchronizer half of a
+   handshake wrapper. *)
+let sync_chain st ~name d src ~depth =
+  let rec go k src =
+    if k > depth then src
+    else
+      go (k + 1)
+        (B.add_flip_flop st.builder
+           ~name:(Printf.sprintf "%s%d" name k)
+           ~data:src
+           ~clock:(Cell.Dom_clock st.doms.(d))
+           ())
+  in
+  go 1 src
+
+(* One req/ack handshake wrapper carrying [payload_bits] bits from island
+   [i] to island [j]: the [handshake] idiom generalized to depth-[depth]
+   synchronizer chains.  Captured payload bits land in island [j]'s pool,
+   so cross-island traffic actually feeds downstream logic. *)
+let handshake_wrapper st ~prefix i j ~depth ~payload_bits =
+  let b = st.builder in
+  let di = st.doms.(i) and dj = st.doms.(j) in
+  let req = B.fresh_net b ~name:(prefix ^ "_req") () in
+  let ack_sync = B.fresh_net b ~name:(prefix ^ "_ack_sync") () in
+  let start = pool_pick st i in
+  let fire = B.add_gate b ~name:(prefix ^ "_fire") Cell.And [ start; ack_sync ] in
+  let req_next =
+    B.add_gate b ~name:(prefix ^ "_req_next") Cell.Xor [ req; fire ]
+  in
+  B.add_flip_flop_to b ~name:(prefix ^ "_req_ff") ~data:req_next
+    ~clock:(Cell.Dom_clock di) ~output:req ();
+  (* Receiver: depth-k synchronizer plus one edge-detect stage. *)
+  let sync_k = sync_chain st ~name:(prefix ^ "_req_sync") j req ~depth in
+  let edge_ff =
+    B.add_flip_flop b ~name:(prefix ^ "_req_edge") ~data:sync_k
+      ~clock:(Cell.Dom_clock dj) ()
+  in
+  let new_req =
+    B.add_gate b ~name:(prefix ^ "_new_req") Cell.Xor [ sync_k; edge_ff ]
+  in
+  for bit = 0 to payload_bits - 1 do
+    let data = pool_pick st i in
+    let payload =
+      B.add_flip_flop b
+        ~name:(Printf.sprintf "%s_data%d" prefix bit)
+        ~data ~clock:(Cell.Dom_clock di) ()
+    in
+    let cur = B.fresh_net b ~name:(Printf.sprintf "%s_cap%d" prefix bit) () in
+    let nxt =
+      B.add_gate b
+        ~name:(Printf.sprintf "%s_capmux%d" prefix bit)
+        Cell.Mux [ new_req; cur; payload ]
+    in
+    B.add_flip_flop_to b
+      ~name:(Printf.sprintf "%s_cap_ff%d" prefix bit)
+      ~data:nxt ~clock:(Cell.Dom_clock dj) ~output:cur ();
+    pool_add st j cur
+  done;
+  (* Ack path back through a depth-k synchronizer in the sender. *)
+  let ack =
+    B.add_flip_flop b ~name:(prefix ^ "_ack_ff") ~data:sync_k
+      ~clock:(Cell.Dom_clock dj) ()
+  in
+  let ack_tail = sync_chain st ~name:(prefix ^ "_ack_sync") i ack ~depth:(depth - 1) in
+  B.add_flip_flop_to b
+    ~name:(prefix ^ "_ack_sync_ff")
+    ~data:ack_tail ~clock:(Cell.Dom_clock di) ~output:ack_sync ();
+  (* The receiver-side activity signal: high for one dj cycle per word. *)
+  edge_ff
+
+(* An integrated-clock-gating cell in domain [d]: [enable] is latched while
+   the root clock is low (so the gated clock never glitches at the rising
+   edge) and ANDed with the clock-source net.  Returns the gated clock net.
+   The gating latch's gate cone is the single-domain Not of the root clock,
+   so no clock edge ever races two gate-path inputs. *)
+let clock_gate st ~prefix d clk enable =
+  let b = st.builder in
+  let nclk = B.add_gate b ~name:(prefix ^ "_nclk") Cell.Not [ clk ] in
+  let latched =
+    B.add_latch b ~name:(prefix ^ "_gate_latch") ~data:enable
+      ~gate:(Cell.Net_trigger nclk) ()
+  in
+  ignore d;
+  B.add_gate b ~name:(prefix ^ "_gclk") Cell.And [ clk; latched ]
+
+let gals_islands ?(seed = 31) ?(island_size = 4) ?(wrapper_depth = 2) ~islands
+    () =
+  check_arg (islands >= 2) "gals_islands: islands must be >= 2, got %d" islands;
+  check_arg (island_size >= 1) "gals_islands: island_size must be >= 1, got %d"
+    island_size;
+  check_arg (wrapper_depth >= 2)
+    "gals_islands: wrapper_depth must be >= 2, got %d" wrapper_depth;
+  let label = "gals_islands" in
+  let st, clks =
+    fresh_state ~label
+      ~seed:(seed + (1000 * island_size) + wrapper_depth)
+      ~domain_name:(Printf.sprintf "island%d")
+      ~domains:islands
+  in
+  seed_pools st ~per_domain:2;
+  (* Local pausible-clock island logic. *)
+  for i = 0 to islands - 1 do
+    for _ = 1 to island_size do
+      regular_module st i ~gates:5 ~ffs:2 ~fanin:3
+    done
+  done;
+  (* Handshake wrappers around the ring; every island sends to its
+     successor, and every island's clock can be paused by the wrapper. *)
+  for i = 0 to islands - 1 do
+    let j = (i + 1) mod islands in
+    let prefix = Printf.sprintf "hs%d_%d" i j in
+    let active = handshake_wrapper st ~prefix i j ~depth:wrapper_depth ~payload_bits:2 in
+    (* Pausible clock: a slice of island [j]'s state advances only while
+       the wrapper grants activity.  Enable and gate are both island-local
+       (the pause decision was already synchronized), so the gated clock
+       transitions only in island [j]. *)
+    let gclk = clock_gate st ~prefix j clks.(j) active in
+    let paused =
+      B.add_flip_flop st.builder
+        ~name:(prefix ^ "_paused_ff")
+        ~data:(pool_pick st j)
+        ~clock:(Cell.Net_trigger gclk) ()
+    in
+    pool_add st j paused
+  done;
+  observe_pools st;
+  {
+    netlist = B.finalize st.builder;
+    design_label = label;
+    modules = islands * island_size;
+    mts_modules = 0;
+  }
+
+(* The number of cross-domain MTS crossings a [dense_crossing] design with
+   [domains] domains and pairwise density [density] will contain — exposed
+   so tests and benches can assert the realized MTS fraction exactly. *)
+let dense_crossing_count ~domains ~density =
+  let npairs = domains * (domains - 1) / 2 in
+  let raw = int_of_float (Float.round (density *. float_of_int npairs)) in
+  if density > 0.0 then min npairs (max 1 raw) else 0
+
+let dense_crossing ?(seed = 47) ?(module_gates = 4) ~domains ~density () =
+  check_arg (domains >= 2) "dense_crossing: domains must be >= 2, got %d"
+    domains;
+  check_fraction "dense_crossing: density" density;
+  check_arg (module_gates >= 0)
+    "dense_crossing: module_gates must be >= 0, got %d" module_gates;
+  let label = "dense_crossing" in
+  let st, _clks =
+    fresh_state ~label
+      ~seed:(seed + (7 * module_gates))
+      ~domain_name:(Printf.sprintf "dom%d")
+      ~domains
+  in
+  seed_pools st ~per_domain:2;
+  (* One small module of local logic per domain. *)
+  for d = 0 to domains - 1 do
+    regular_module st d ~gates:module_gates ~ffs:2 ~fanin:3
+  done;
+  (* The pairwise-crossing density matrix, realized exactly: shuffle all
+     unordered domain pairs and take the first [density]-fraction of them.
+     Each chosen pair gets a full MTS crossing (latch + raw MTS net), so
+     the design's MTS fraction is [crossings / (domains + crossings)] by
+     construction — far above the paper's Design1/Design2. *)
+  let pairs =
+    Array.of_list
+      (List.concat
+         (List.init domains (fun i ->
+              List.init (domains - 1 - i) (fun k -> (i, i + 1 + k)))))
+  in
+  for k = Array.length pairs - 1 downto 1 do
+    let r = Random.State.int st.rng (k + 1) in
+    let tmp = pairs.(k) in
+    pairs.(k) <- pairs.(r);
+    pairs.(r) <- tmp
+  done;
+  let crossings = dense_crossing_count ~domains ~density in
+  for k = 0 to crossings - 1 do
+    let i, j = pairs.(k) in
+    mts_module st i j
+  done;
+  observe_pools st;
+  {
+    netlist = B.finalize st.builder;
+    design_label = label;
+    modules = domains + crossings;
+    mts_modules = crossings;
+  }
+
+let gated_memory_fabric ?(seed = 53) ?(addr_bits = 3) ?(domains = 3) ~banks ()
+    =
+  check_arg (banks >= 1) "gated_memory_fabric: banks must be >= 1, got %d"
+    banks;
+  check_arg (domains >= 2) "gated_memory_fabric: domains must be >= 2, got %d"
+    domains;
+  check_arg
+    (addr_bits >= 1 && addr_bits <= 8)
+    "gated_memory_fabric: addr_bits must be in [1,8], got %d" addr_bits;
+  let label = "gated_memory_fabric" in
+  let st, clks =
+    fresh_state ~label
+      ~seed:(seed + (11 * addr_bits) + banks)
+      ~domain_name:(Printf.sprintf "fab%d")
+      ~domains
+  in
+  seed_pools st ~per_domain:2;
+  for d = 0 to domains - 1 do
+    regular_module st d ~gates:4 ~ffs:2 ~fanin:3
+  done;
+  (* Clock-gated RAM banks with cross-domain write traffic: bank [b] lives
+     in home domain [db]; its write clock is the [db] root clock gated by
+     an enable registered in a *different* domain [dw] (so the gating latch
+     is an MTS latch and the RAM's write port fires in two domains — the
+     write-port-as-latch extension), its write data and enable come from
+     [dw], and its read data is sampled both at home and by a third reader
+     domain [dr]. *)
+  for b = 0 to banks - 1 do
+    let db = b mod domains in
+    let dw = (db + 1 + Random.State.int st.rng (domains - 1)) mod domains in
+    let dr = (db + 1 + Random.State.int st.rng (domains - 1)) mod domains in
+    let prefix = Printf.sprintf "bank%d" b in
+    let enable = pool_pick st dw in
+    let gclk = clock_gate st ~prefix db clks.(db) enable in
+    let we = pool_pick st dw in
+    let wdata = pool_pick st dw in
+    let write_addr = List.init addr_bits (fun _ -> pool_pick st db) in
+    let read_addr = List.init addr_bits (fun _ -> pool_pick st dr) in
+    let rdata =
+      B.add_ram st.builder ~name:(prefix ^ "_ram") ~addr_bits ~write_enable:we
+        ~write_data:wdata ~write_addr ~read_addr ~clock:(Cell.Net_trigger gclk)
+        ()
+    in
+    let home =
+      B.add_flip_flop st.builder ~name:(prefix ^ "_home") ~data:rdata
+        ~clock:(Cell.Dom_clock st.doms.(db)) ()
+    in
+    let remote =
+      B.add_flip_flop st.builder ~name:(prefix ^ "_reader") ~data:rdata
+        ~clock:(Cell.Dom_clock st.doms.(dr)) ()
+    in
+    pool_add st db home;
+    pool_add st dr remote
+  done;
+  observe_pools st;
+  {
+    netlist = B.finalize st.builder;
+    design_label = label;
+    modules = domains + banks;
+    mts_modules = banks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Generator specs: one textual grammar shared by the CLI, the bench and
+   the experiment harness, e.g. "gals:islands=16,size=8".               *)
+
+let spec_help =
+  "fig1 | fig3 | handshake | design1[:scale=F,seed=N] | design2[:scale=F,seed=N] \
+   | random:domains=N,modules=N,mts=F[,seed=N,gates=N,ffs=N,mtsffs=N,xrams=N] \
+   | gals:islands=N[,size=N,depth=N,seed=N] \
+   | dense:domains=N,density=F[,gates=N,seed=N] \
+   | fabric:banks=N[,domains=N,addr=N,seed=N]"
+
+let parse_fields s =
+  if String.trim s = "" then Error "empty parameter list"
+  else
+    List.fold_left
+      (fun acc field ->
+        match acc with
+        | Error _ -> acc
+        | Ok l -> (
+            match String.index_opt field '=' with
+            | None ->
+                Error
+                  (Printf.sprintf "malformed field %S (expected key=value)"
+                     field)
+            | Some i ->
+                let k = String.trim (String.sub field 0 i) in
+                let v =
+                  String.trim
+                    (String.sub field (i + 1) (String.length field - i - 1))
+                in
+                if k = "" || v = "" then
+                  Error
+                    (Printf.sprintf "malformed field %S (expected key=value)"
+                       field)
+                else Ok ((k, v) :: l)))
+      (Ok [])
+      (String.split_on_char ',' s)
+    |> Result.map List.rev
+
+let int_key r v =
+  match int_of_string_opt v with
+  | Some n ->
+      r := n;
+      None
+  | None -> Some (Printf.sprintf "%S is not an integer" v)
+
+let float_key r v =
+  match float_of_string_opt v with
+  | Some f ->
+      r := f;
+      None
+  | None -> Some (Printf.sprintf "%S is not a number" v)
+
+(* Apply every parsed field through its keyed setter; [Some msg] on the
+   first unknown key or unparseable value. *)
+let apply_fields keys fields =
+  List.fold_left
+    (fun acc (k, v) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match List.assoc_opt k keys with
+          | None ->
+              Some
+                (Printf.sprintf "unknown key %S (expected %s)" k
+                   (String.concat "|" (List.map fst keys)))
+          | Some set -> (
+              match set v with
+              | None -> None
+              | Some msg -> Some (Printf.sprintf "key %s: %s" k msg))))
+    None fields
+
+let of_spec spec =
+  let family, fields =
+    match String.index_opt spec ':' with
+    | None -> (spec, Ok [])
+    | Some i ->
+        ( String.sub spec 0 i,
+          parse_fields (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  let fail msg =
+    Error
+      (Diag.error Diag.E_PARSE "generator spec %S: %s (grammar: %s)" spec msg
+         spec_help)
+  in
+  match fields with
+  | Error msg -> fail msg
+  | Ok fields -> (
+      let no_params build =
+        if fields <> [] then Error "takes no parameters" else Ok (build ())
+      in
+      let with_keys keys build =
+        match apply_fields keys fields with
+        | Some msg -> Error msg
+        | None -> Ok (build ())
+      in
+      let run () =
+        match family with
+        | "fig1" -> no_params fig1
+        | "fig3" | "fig3_latch" -> no_params fig3_latch
+        | "handshake" -> no_params handshake
+        | "design1" ->
+            let seed = ref 101 and scale = ref 0.1 in
+            with_keys
+              [ ("seed", int_key seed); ("scale", float_key scale) ]
+              (fun () -> design1_like ~seed:!seed ~scale:!scale ())
+        | "design2" ->
+            let seed = ref 202 and scale = ref 0.1 in
+            with_keys
+              [ ("seed", int_key seed); ("scale", float_key scale) ]
+              (fun () -> design2_like ~seed:!seed ~scale:!scale ())
+        | "random" ->
+            let seed = ref 11
+            and doms = ref 3
+            and modules = ref 20
+            and mts = ref 0.2
+            and gates = ref 8
+            and ffs = ref 3
+            and mts_ffs = ref 0
+            and xrams = ref 0 in
+            with_keys
+              [
+                ("seed", int_key seed);
+                ("domains", int_key doms);
+                ("modules", int_key modules);
+                ("mts", float_key mts);
+                ("gates", int_key gates);
+                ("ffs", int_key ffs);
+                ("mtsffs", int_key mts_ffs);
+                ("xrams", int_key xrams);
+              ]
+              (fun () ->
+                random_multidomain ~seed:!seed ~gates_per_module:!gates
+                  ~ffs_per_module:!ffs ~mts_ffs:!mts_ffs ~xwrite_rams:!xrams
+                  ~domains:!doms ~modules:!modules ~mts_fraction:!mts ())
+        | "gals" ->
+            let seed = ref 31 and islands = ref 8 and size = ref 4 and depth = ref 2 in
+            with_keys
+              [
+                ("seed", int_key seed);
+                ("islands", int_key islands);
+                ("size", int_key size);
+                ("depth", int_key depth);
+              ]
+              (fun () ->
+                gals_islands ~seed:!seed ~island_size:!size
+                  ~wrapper_depth:!depth ~islands:!islands ())
+        | "dense" ->
+            let seed = ref 47 and doms = ref 12 and density = ref 0.3 and gates = ref 4 in
+            with_keys
+              [
+                ("seed", int_key seed);
+                ("domains", int_key doms);
+                ("density", float_key density);
+                ("gates", int_key gates);
+              ]
+              (fun () ->
+                dense_crossing ~seed:!seed ~module_gates:!gates ~domains:!doms
+                  ~density:!density ())
+        | "fabric" ->
+            let seed = ref 53 and banks = ref 8 and doms = ref 3 and addr = ref 3 in
+            with_keys
+              [
+                ("seed", int_key seed);
+                ("banks", int_key banks);
+                ("domains", int_key doms);
+                ("addr", int_key addr);
+              ]
+              (fun () ->
+                gated_memory_fabric ~seed:!seed ~addr_bits:!addr
+                  ~domains:!doms ~banks:!banks ())
+        | other ->
+            Error
+              (Printf.sprintf
+                 "unknown generator %S (families: \
+                  fig1|fig3|handshake|design1|design2|random|gals|dense|fabric)"
+                 other)
+      in
+      match run () with
+      | Ok d -> Ok d
+      | Error msg -> fail msg
+      | exception Diag.Fail d -> Error d)

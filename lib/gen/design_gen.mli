@@ -3,7 +3,12 @@
     The paper evaluates on two proprietary ASICs; these seeded generators
     produce designs with the same structural features (module counts, domain
     counts, MTS fractions, memory traffic) so the experiments exercise the
-    same compiler paths.  All generators are deterministic in their seed. *)
+    same compiler paths.  All generators are deterministic in their seed.
+
+    Generator parameters are treated as user input: out-of-range values
+    (e.g. a fraction outside [0,1] or [domains < 1]) raise
+    [Msched_diag.Diag.Fail] with code [E_PARSE] rather than silently
+    clamping or looping. *)
 
 open Msched_netlist
 
@@ -55,3 +60,57 @@ val design2_like : ?seed:int -> ?scale:float -> unit -> design
 (** Design2 analogue: 2 clock domains, RAM-transaction-dominated, larger MTS
     fraction (paper: 2008 modules, 87 MTS modules, 116 MTS paths, many
     memory modules). *)
+
+val gals_islands :
+  ?seed:int ->
+  ?island_size:int ->
+  ?wrapper_depth:int ->
+  islands:int ->
+  unit ->
+  design
+(** GALS: [islands] pausible-clock islands (one clock domain each) on a ring,
+    every edge wrapped in a req/ack handshake port with depth-[wrapper_depth]
+    synchronizer chains (>= 2, default 2) carrying a 2-bit payload, plus a
+    handshake-gated (pausible) clock slice per island.  [island_size]
+    (default 4) modules of local logic per island.  All CDC goes through
+    synchronizers, so [mts_modules = 0] — the family stresses domain count
+    and FORK/MERGE transport rather than MTS hold-offs.  Models the
+    GALS-over-synchronous-FPGA shape of arXiv 0802.3441. *)
+
+val dense_crossing_count : domains:int -> density:float -> int
+(** Number of pairwise MTS crossings [dense_crossing] realizes for a given
+    [domains]/[density]: [round (density * C(domains,2))], at least 1 when
+    [density > 0].  Exposed so tests and benches can assert the realized
+    MTS fraction exactly. *)
+
+val dense_crossing :
+  ?seed:int -> ?module_gates:int -> domains:int -> density:float -> unit -> design
+(** Dozens of small domains with a pairwise-crossing density matrix: one
+    small module of local logic per domain, plus a full MTS crossing
+    (latch + raw MTS net) on [dense_crossing_count] seed-shuffled domain
+    pairs.  [density] in [0,1] is the fraction of the C(domains,2) pairs
+    that cross, driving the MTS fraction far above the paper's designs.
+    Models the dense multi-style asynchronous fabric of arXiv 0710.4711. *)
+
+val gated_memory_fabric :
+  ?seed:int -> ?addr_bits:int -> ?domains:int -> banks:int -> unit -> design
+(** Clock-gated RAM fabric: [banks] RAM banks spread over [domains]
+    (default 3) domains.  Each bank's write clock is its home-domain root
+    clock gated (glitch-free integrated-clock-gating latch) by an enable
+    registered in a different domain — so the gating latch is an MTS latch
+    and the write port fires under two domains' edges — with write data
+    from the enable's domain and read data sampled both at home and by a
+    third reader domain.  [addr_bits] in [1,8] (default 3). *)
+
+val spec_help : string
+(** One-line grammar summary of the generator spec language, for CLI
+    manpages and error messages. *)
+
+val of_spec : string -> (design, Msched_diag.Diag.t) result
+(** Parse and run a textual generator spec — the single grammar shared by
+    the CLI, bench, and experiment harness.  Examples: ["fig1"],
+    ["design2:scale=0.05"], ["random:domains=3,modules=20,mts=0.2"],
+    ["gals:islands=16,size=8"], ["dense:domains=24,density=0.3"],
+    ["fabric:banks=12,domains=4"].  Malformed specs (unknown family or key,
+    bad number, out-of-range parameter) return [Error d] with code
+    [E_PARSE]; this function never raises. *)

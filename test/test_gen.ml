@@ -11,6 +11,9 @@ let test_all_generators_valid () =
       Design_gen.random_multidomain ~domains:3 ~modules:20 ~mts_fraction:0.2 ();
       Design_gen.design1_like ~scale:0.02 ();
       Design_gen.design2_like ~scale:0.02 ();
+      Design_gen.gals_islands ~islands:4 ~island_size:2 ();
+      Design_gen.dense_crossing ~domains:6 ~density:0.3 ();
+      Design_gen.gated_memory_fabric ~banks:4 ();
     ]
   in
   List.iter

@@ -288,9 +288,23 @@ let prop_corrupted_netlists_never_escape =
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let rng = Random.State.make [| seed |] in
+      (* Base designs span all workload families, so corruption is injected
+         into GALS handshake wrappers, dense-crossing matrices, and gated
+         memory fabrics as well as the classic random shape. *)
       let d =
-        Design_gen.random_multidomain ~seed:(seed mod 97) ~domains:3
-          ~modules:6 ~mts_fraction:0.3 ()
+        match seed mod 4 with
+        | 0 ->
+            Design_gen.gals_islands ~seed:(seed mod 97) ~islands:3
+              ~island_size:1 ()
+        | 1 ->
+            Design_gen.dense_crossing ~seed:(seed mod 97) ~domains:5
+              ~density:0.3 ~module_gates:2 ()
+        | 2 ->
+            Design_gen.gated_memory_fabric ~seed:(seed mod 97) ~banks:2
+              ~addr_bits:2 ()
+        | _ ->
+            Design_gen.random_multidomain ~seed:(seed mod 97) ~domains:3
+              ~modules:6 ~mts_fraction:0.3 ()
       in
       let text =
         corrupt_text rng (Msched_netlist.Serial.to_string d.Design_gen.netlist)

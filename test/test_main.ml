@@ -28,5 +28,6 @@ let () =
       ("forward", Test_forward.suite);
       ("compile", Test_compile.suite);
       ("obs", Test_obs.suite);
+      ("workloads", Test_workloads.suite);
       ("server", Test_server.suite);
     ]

@@ -45,9 +45,7 @@ let check_verifier_clean name r =
 
 (* ---- Differential suite: warm vs from-scratch over many seeds. ---- *)
 
-let differential_one ~seed ~modules ~domains =
-  let ctxname = Printf.sprintf "seed %d" seed in
-  let nl = design ~seed ~modules ~domains in
+let differential_nl ~ctxname nl =
   let warm = run ~reuse:true nl in
   let cold = run ~reuse:false nl in
   Alcotest.(check bool)
@@ -78,6 +76,11 @@ let differential_one ~seed ~modules ~domains =
   check_verifier_clean (ctxname ^ " cold") cold;
   Compile.succeeded warm
 
+let differential_one ~seed ~modules ~domains =
+  differential_nl
+    ~ctxname:(Printf.sprintf "seed %d" seed)
+    (design ~seed ~modules ~domains)
+
 let test_differential_many_seeds () =
   (* >= 50 designs across sizes and domain counts. *)
   let succeeded = ref 0 and total = ref 0 in
@@ -93,6 +96,37 @@ let test_differential_many_seeds () =
     true
     (!succeeded > !total / 2);
   Alcotest.(check bool) "suite is >= 50 designs" true (!total >= 50)
+
+let test_differential_families () =
+  (* Warm ≡ cold must also hold on the GALS/handshake workload families
+     (ISSUE 6), whose transport patterns — synchronizer chains, dense
+     pairwise crossings, gated RAM write clocks — differ structurally from
+     the random multidomain shape the ladder was tuned on. *)
+  let succeeded = ref 0 and total = ref 0 in
+  List.iter
+    (fun (label, thunk) ->
+      List.iter
+        (fun seed ->
+          incr total;
+          let d : Msched_gen.Design_gen.design = thunk seed in
+          if
+            differential_nl
+              ~ctxname:(Printf.sprintf "%s seed %d" label seed)
+              d.Design_gen.netlist
+          then incr succeeded)
+        [ 300; 301; 302 ])
+    [
+      ( "gals",
+        fun seed -> Design_gen.gals_islands ~seed ~islands:4 ~island_size:2 () );
+      ( "dense",
+        fun seed -> Design_gen.dense_crossing ~seed ~domains:6 ~density:0.3 () );
+      ( "fabric",
+        fun seed -> Design_gen.gated_memory_fabric ~seed ~banks:4 () );
+    ];
+  Alcotest.(check bool)
+    (Printf.sprintf "family designs compiled (%d/%d)" !succeeded !total)
+    true
+    (!succeeded > !total / 2)
 
 (* ---- Warm reuse must do strictly less search work on retry rungs. ---- *)
 
@@ -240,6 +274,8 @@ let suite =
   [
     Alcotest.test_case "differential: warm == cold over 51 designs" `Slow
       test_differential_many_seeds;
+    Alcotest.test_case "differential: warm == cold on workload families" `Slow
+      test_differential_families;
     Alcotest.test_case "warm reuse expands strictly less" `Quick
       test_warm_expansions_lower;
     Alcotest.test_case "failed attempt collects whole residue" `Quick

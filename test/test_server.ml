@@ -336,6 +336,48 @@ let test_batch_exit_classes () =
   Alcotest.(check int) "batch exit is first failing class" 3
     (Server.exit_code batch)
 
+(* ---- Mixed GALS corpus (ISSUE 6): workload families through the batch
+   server at jobs=2, deterministic vs jobs=1, with per-job exit classes. ---- *)
+
+let test_batch_gals_corpus () =
+  let family_text seed =
+    let d : Design_gen.design =
+      match seed mod 3 with
+      | 0 -> Design_gen.gals_islands ~seed ~islands:3 ~island_size:1 ()
+      | 1 -> Design_gen.dense_crossing ~seed ~domains:5 ~density:0.3 ()
+      | _ -> Design_gen.gated_memory_fabric ~seed ~banks:3 ~addr_bits:2 ()
+    in
+    (Printf.sprintf "corpus/%s-s%d.mnl" d.Design_gen.design_label seed,
+     Serial.to_string d.Design_gen.netlist)
+  in
+  let corpus =
+    List.init 9 (fun i -> family_text (700 + i))
+    @ [ ("corpus/broken.mnl", "design broken\nnet x\n") ]
+  in
+  let jobs =
+    List.mapi (fun index (path, text) -> Server.job_of_text ~index ~path text)
+      corpus
+  in
+  let b1 = Server.run_batch ~jobs:1 Server.default_settings jobs in
+  let b2 = Server.run_batch ~jobs:2 Server.default_settings jobs in
+  List.iteri
+    (fun i (r1, r2) ->
+      Alcotest.(check string)
+        (Printf.sprintf "family record %d identical at jobs=2" i)
+        r1 r2)
+    (List.combine (records b1) (records b2));
+  (* Every well-formed family design compiles (exit 0, verifier on); the
+     seeded broken text fails in the malformed-input class (exit 3). *)
+  Array.iteri
+    (fun i r ->
+      let expected = if i < 9 then 0 else 3 in
+      Alcotest.(check int)
+        (Printf.sprintf "job %d (%s) exit class" i r.Server.r_job.Server.j_path)
+        expected r.Server.r_exit)
+    b2.Server.b_results;
+  Alcotest.(check int) "batch exit is the parse-failure class" 3
+    (Server.exit_code b2)
+
 let suite =
   [
     Alcotest.test_case "pool: parallel map deterministic" `Quick
@@ -356,4 +398,6 @@ let suite =
       test_manifest_sources;
     Alcotest.test_case "batch: per-job exit classes" `Quick
       test_batch_exit_classes;
+    Alcotest.test_case "batch: mixed GALS corpus at jobs=2" `Slow
+      test_batch_gals_corpus;
   ]

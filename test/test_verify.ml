@@ -45,6 +45,56 @@ let verify prepared sched = Msched.Compile.verify_schedule prepared sched
 
 let fuzz_seeds = List.init 100 (fun i -> 9000 + i)
 
+(* The GALS/handshake workload families (ISSUE 6): same oracle, different
+   asynchronous topologies — pausible-clock islands, dense pairwise
+   crossings, clock-gated memory fabrics. *)
+let family_design_of_seed seed =
+  match seed mod 3 with
+  | 0 ->
+      Design_gen.gals_islands ~seed
+        ~islands:(3 + (seed mod 4))
+        ~island_size:(1 + (seed mod 2))
+        ~wrapper_depth:(2 + (seed mod 2))
+        ()
+  | 1 ->
+      Design_gen.dense_crossing ~seed
+        ~domains:(4 + (seed mod 8))
+        ~density:(0.15 +. (0.07 *. float_of_int (seed mod 6)))
+        ()
+  | _ ->
+      Design_gen.gated_memory_fabric ~seed
+        ~banks:(2 + (seed mod 6))
+        ~domains:(2 + (seed mod 3))
+        ()
+
+let test_fuzz_families_clean () =
+  (* Every workload family, scheduled in both virtual and hard MTS modes,
+     verifier-clean across a seeded sweep. *)
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let d = family_design_of_seed seed in
+      let copts =
+        {
+          Msched.Compile.default_options with
+          Msched.Compile.max_block_weight = 32 + (seed mod 2 * 16);
+        }
+      in
+      let prepared = Msched.Compile.prepare ~options:copts d.Design_gen.netlist in
+      List.iter
+        (fun (mode, ropts) ->
+          let sched = Msched.Compile.route prepared ropts in
+          let r = verify prepared sched in
+          if not (Verify.is_clean r) then
+            failures :=
+              Format.asprintf "%s seed %d %s: %a" d.Design_gen.design_label
+                seed mode Verify.pp_report r
+              :: !failures)
+        [ ("virtual", Tiers.default_options); ("hard", Tiers.hard_options) ])
+    (List.init 24 (fun i -> 9100 + i));
+  Alcotest.(check (list string)) "all family schedules verifier-clean" []
+    (List.rev !failures)
+
 let test_fuzz_tiers_clean () =
   (* The acceptance bar: >= 100 random designs, each scheduled in both
      virtual and hard MTS modes, all verifier-clean. *)
@@ -179,6 +229,8 @@ let suite =
       test_fuzz_tiers_clean;
     Alcotest.test_case "fuzz: forward scheduler clean" `Slow
       test_fuzz_forward_clean;
+    Alcotest.test_case "fuzz: workload families x {virtual,hard} clean" `Slow
+      test_fuzz_families_clean;
     Alcotest.test_case "clean implies fidelity-perfect" `Slow
       test_clean_implies_fidelity;
     Alcotest.test_case "report shape" `Quick test_report_shape;

@@ -1,0 +1,398 @@
+(* GALS & handshake workload families (ISSUE 6 headline suite).
+
+   The paper validates on two proprietary ASICs; these families cover the
+   asynchronous topologies the related work says matter — pausible-clock
+   islands behind handshake wrappers (arXiv 0802.3441), dense pairwise
+   domain crossings, and clock-gated memory fabrics (arXiv 0710.4711).
+   This suite pins down:
+
+   - per-family structural invariants: domain counts, realized crossing
+     density, MTS fraction within tolerance, synchronizer depth;
+   - seed determinism as byte-identical serialized netlists, across the
+     whole generator API including the legacy families;
+   - compile+verify across a parameter sweep, in both virtual and hard
+     MTS routing modes;
+   - qcheck properties that every generated design is verifier-clean, and
+     that bad parameters or malformed specs fail with a structured [E_*]
+     diagnostic — never an unstructured exception;
+   - the generator-spec grammar shared by the CLI and bench. *)
+
+open Msched_netlist
+module Design_gen = Msched_gen.Design_gen
+module DA = Msched_mts.Domain_analysis
+module Tiers = Msched_route.Tiers
+module Schedule = Msched_route.Schedule
+module Verify = Msched_check.Verify
+module Diag = Msched_diag.Diag
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let count_cells nl pred =
+  let n = ref 0 in
+  Netlist.iter_cells nl (fun c -> if pred c then incr n);
+  !n
+
+let count_mts_nets nl =
+  let da = DA.compute nl in
+  let n = ref 0 in
+  Netlist.iter_nets nl (fun net _ -> if DA.is_mts_net da net then incr n);
+  !n
+
+let name_contains sub (c : Cell.t) =
+  let len = String.length sub and n = String.length c.Cell.name in
+  let rec go i = i + len <= n && (String.sub c.Cell.name i len = sub || go (i + 1)) in
+  go 0
+
+let compile_and_verify ?(weight = 48) label nl =
+  let options =
+    { Msched.Compile.default_options with Msched.Compile.max_block_weight = weight }
+  in
+  let prepared = Msched.Compile.prepare ~options nl in
+  List.iter
+    (fun (mode, ropts) ->
+      let sched = Msched.Compile.route prepared ropts in
+      let r = Msched.Compile.verify_schedule prepared sched in
+      Alcotest.(check bool)
+        (Format.asprintf "%s %s verifier-clean: %a" label mode Verify.pp_report r)
+        true (Verify.is_clean r);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s schedule non-empty" label mode)
+        true
+        (sched.Schedule.length > 0))
+    [ ("virtual", Tiers.default_options); ("hard", Tiers.hard_options) ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants *)
+
+let test_gals_structure () =
+  let islands = 6 and island_size = 3 and wrapper_depth = 3 in
+  let d = Design_gen.gals_islands ~islands ~island_size ~wrapper_depth () in
+  let nl = d.Design_gen.netlist in
+  Alcotest.(check int) "one domain per island" islands (Netlist.num_domains nl);
+  Alcotest.(check int) "modules = islands * island_size"
+    (islands * island_size) d.Design_gen.modules;
+  Alcotest.(check int) "all CDC via synchronizers: no MTS modules" 0
+    d.Design_gen.mts_modules;
+  Alcotest.(check int) "no MTS nets" 0 (count_mts_nets nl);
+  (* One ring edge per island, each with a depth-k request synchronizer. *)
+  Alcotest.(check int) "req synchronizer chains are depth-k"
+    (islands * wrapper_depth)
+    (count_cells nl (name_contains "_req_sync"));
+  (* Pausible clocks: one gating latch + one gated-clock AND per edge. *)
+  Alcotest.(check int) "one gating latch per island"
+    islands
+    (count_cells nl (name_contains "_gate_latch"));
+  let stats = Stats.compute nl in
+  Alcotest.(check int) "gating latches are the only latches" islands
+    stats.Stats.num_latches
+
+let test_dense_structure () =
+  let domains = 10 and density = 0.3 in
+  let d = Design_gen.dense_crossing ~domains ~density () in
+  let nl = d.Design_gen.netlist in
+  let crossings = Design_gen.dense_crossing_count ~domains ~density in
+  Alcotest.(check int) "domain count" domains (Netlist.num_domains nl);
+  Alcotest.(check int) "crossing count realized exactly" crossings
+    d.Design_gen.mts_modules;
+  Alcotest.(check int) "modules = domains + crossings" (domains + crossings)
+    d.Design_gen.modules;
+  (* Each crossing contributes exactly one MTS latch. *)
+  let stats = Stats.compute nl in
+  Alcotest.(check int) "one MTS latch per crossing" crossings
+    stats.Stats.num_latches;
+  Alcotest.(check bool) "MTS nets present" true (count_mts_nets nl > 0);
+  (* The realized MTS fraction tracks the requested density. *)
+  let frac =
+    float_of_int d.Design_gen.mts_modules /. float_of_int d.Design_gen.modules
+  in
+  let expected =
+    float_of_int crossings /. float_of_int (domains + crossings)
+  in
+  Alcotest.(check (float 1e-9)) "MTS fraction within tolerance" expected frac;
+  (* Density drives it far above the paper's designs (Design2: ~4.3%). *)
+  Alcotest.(check bool) "MTS fraction >> paper designs" true (frac > 0.2)
+
+let test_dense_crossing_count () =
+  (* Bounds and monotonicity of the density knob. *)
+  Alcotest.(check int) "density 0 -> no crossings" 0
+    (Design_gen.dense_crossing_count ~domains:8 ~density:0.0);
+  Alcotest.(check int) "density 1 -> complete graph" 28
+    (Design_gen.dense_crossing_count ~domains:8 ~density:1.0);
+  Alcotest.(check int) "tiny density still crosses once" 1
+    (Design_gen.dense_crossing_count ~domains:8 ~density:0.001);
+  let prev = ref 0 in
+  List.iter
+    (fun density ->
+      let c = Design_gen.dense_crossing_count ~domains:12 ~density in
+      Alcotest.(check bool) "monotone in density" true (c >= !prev);
+      prev := c)
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 1.0 ]
+
+let test_fabric_structure () =
+  let banks = 7 and domains = 4 in
+  let d = Design_gen.gated_memory_fabric ~banks ~domains () in
+  let nl = d.Design_gen.netlist in
+  let stats = Stats.compute nl in
+  Alcotest.(check int) "domain count" domains (Netlist.num_domains nl);
+  Alcotest.(check int) "one RAM per bank" banks stats.Stats.num_rams;
+  Alcotest.(check int) "one gating latch per bank" banks
+    stats.Stats.num_latches;
+  Alcotest.(check int) "every bank is an MTS module" banks
+    d.Design_gen.mts_modules;
+  Alcotest.(check int) "modules = domains + banks" (domains + banks)
+    d.Design_gen.modules;
+  (* The cross-domain gated write clocks make real MTS nets. *)
+  Alcotest.(check bool) "MTS nets present" true (count_mts_nets nl > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: byte-identical serialized netlists for same-seed calls,
+   across the whole generator API (satellite 3). *)
+
+let all_family_thunks =
+  [
+    ("fig1", fun () -> Design_gen.fig1 ());
+    ("fig3", fun () -> Design_gen.fig3_latch ());
+    ("handshake", fun () -> Design_gen.handshake ());
+    ( "random",
+      fun () ->
+        Design_gen.random_multidomain ~seed:7 ~domains:3 ~modules:18
+          ~mts_fraction:0.25 ~mts_ffs:1 ~xwrite_rams:1 () );
+    ("design1", fun () -> Design_gen.design1_like ~seed:5 ~scale:0.02 ());
+    ("design2", fun () -> Design_gen.design2_like ~seed:5 ~scale:0.02 ());
+    ( "gals",
+      fun () ->
+        Design_gen.gals_islands ~seed:9 ~islands:5 ~island_size:2
+          ~wrapper_depth:2 () );
+    ( "dense",
+      fun () -> Design_gen.dense_crossing ~seed:9 ~domains:8 ~density:0.4 () );
+    ( "fabric",
+      fun () -> Design_gen.gated_memory_fabric ~seed:9 ~banks:5 ~domains:3 () );
+  ]
+
+let test_determinism_all_families () =
+  List.iter
+    (fun (label, thunk) ->
+      let a = Serial.to_string (thunk ()).Design_gen.netlist in
+      let b = Serial.to_string (thunk ()).Design_gen.netlist in
+      Alcotest.(check bool)
+        (label ^ ": same seed serializes byte-identically")
+        true (String.equal a b))
+    all_family_thunks
+
+let test_seed_sensitivity () =
+  (* Different seeds must actually change the sampled structure somewhere
+     (guards against a family ignoring its seed). *)
+  let differs a b = not (String.equal a b) in
+  Alcotest.(check bool) "gals seed matters" true
+    (differs
+       (Serial.to_string
+          (Design_gen.gals_islands ~seed:1 ~islands:4 ()).Design_gen.netlist)
+       (Serial.to_string
+          (Design_gen.gals_islands ~seed:2 ~islands:4 ()).Design_gen.netlist));
+  Alcotest.(check bool) "dense seed matters" true
+    (differs
+       (Serial.to_string
+          (Design_gen.dense_crossing ~seed:1 ~domains:8 ~density:0.3 ())
+            .Design_gen.netlist)
+       (Serial.to_string
+          (Design_gen.dense_crossing ~seed:2 ~domains:8 ~density:0.3 ())
+            .Design_gen.netlist));
+  Alcotest.(check bool) "fabric seed matters" true
+    (differs
+       (Serial.to_string
+          (Design_gen.gated_memory_fabric ~seed:1 ~banks:6 ()).Design_gen.netlist)
+       (Serial.to_string
+          (Design_gen.gated_memory_fabric ~seed:2 ~banks:6 ())
+            .Design_gen.netlist))
+
+(* ------------------------------------------------------------------ *)
+(* Compile + verify across a parameter sweep *)
+
+let test_sweep_compile_verify () =
+  let sweep =
+    [
+      ("gals islands=3", (Design_gen.gals_islands ~islands:3 ~island_size:2 ()));
+      ( "gals islands=8 depth=4",
+        Design_gen.gals_islands ~islands:8 ~island_size:1 ~wrapper_depth:4 () );
+      ( "dense domains=6 density=0.2",
+        Design_gen.dense_crossing ~domains:6 ~density:0.2 () );
+      ( "dense domains=12 density=0.5",
+        Design_gen.dense_crossing ~domains:12 ~density:0.5 ~module_gates:2 () );
+      ("fabric banks=3", Design_gen.gated_memory_fabric ~banks:3 ());
+      ( "fabric banks=8 domains=4",
+        Design_gen.gated_memory_fabric ~banks:8 ~domains:4 ~addr_bits:2 () );
+    ]
+  in
+  List.iter
+    (fun (label, d) -> compile_and_verify label d.Design_gen.netlist)
+    sweep
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: structured failure or verifier-clean — never an unstructured
+   exception. *)
+
+let family_of_seed seed =
+  match seed mod 3 with
+  | 0 ->
+      Design_gen.gals_islands ~seed
+        ~islands:(2 + (seed mod 5))
+        ~island_size:(1 + (seed mod 3))
+        ~wrapper_depth:(2 + (seed mod 2))
+        ()
+  | 1 ->
+      Design_gen.dense_crossing ~seed
+        ~domains:(2 + (seed mod 11))
+        ~density:(0.1 +. (0.08 *. float_of_int (seed mod 10)))
+        ()
+  | _ ->
+      Design_gen.gated_memory_fabric ~seed
+        ~banks:(1 + (seed mod 9))
+        ~domains:(2 + (seed mod 4))
+        ()
+
+let prop_families_clean_or_structured =
+  QCheck.Test.make
+    ~name:"families: verifier-clean or structured E_* diagnostic" ~count:18
+    QCheck.(int_range 100 999)
+    (fun seed ->
+      match
+        let d = family_of_seed seed in
+        let prepared =
+          Msched.Compile.prepare
+            ~options:
+              {
+                Msched.Compile.default_options with
+                Msched.Compile.max_block_weight = 32 + (seed mod 3 * 16);
+              }
+            d.Design_gen.netlist
+        in
+        let sched = Msched.Compile.route prepared Tiers.default_options in
+        Msched.Compile.verify_schedule prepared sched
+      with
+      | r -> Verify.is_clean r
+      | exception Diag.Fail _ -> true (* structured: acceptable *)
+      | exception Tiers.Unroutable _ -> true (* structured: acceptable *))
+
+let prop_bad_params_structured =
+  (* Out-of-range generator parameters must raise Diag.Fail E_PARSE — never
+     Invalid_argument, Failure, or an infinite clamp/loop. *)
+  let structured f =
+    match f () with
+    | (_ : Design_gen.design) -> false
+    | exception Diag.Fail d -> d.Diag.code = Diag.E_PARSE
+    | exception _ -> false
+  in
+  QCheck.Test.make ~name:"bad generator params raise structured E_PARSE"
+    ~count:12
+    QCheck.(int_range 0 1_000_000)
+    (fun salt ->
+      List.for_all structured
+        [
+          (fun () ->
+            Design_gen.random_multidomain ~domains:(-1 - (salt mod 5))
+              ~modules:10 ~mts_fraction:0.2 ());
+          (fun () ->
+            Design_gen.random_multidomain ~domains:2 ~modules:10
+              ~mts_fraction:(1.01 +. float_of_int (salt mod 7)) ());
+          (fun () ->
+            Design_gen.random_multidomain ~domains:2 ~modules:10
+              ~mts_fraction:(-0.01) ());
+          (fun () -> Design_gen.gals_islands ~islands:1 ());
+          (fun () -> Design_gen.gals_islands ~islands:4 ~wrapper_depth:1 ());
+          (fun () -> Design_gen.dense_crossing ~domains:1 ~density:0.5 ());
+          (fun () -> Design_gen.dense_crossing ~domains:4 ~density:1.5 ());
+          (fun () -> Design_gen.gated_memory_fabric ~banks:0 ());
+          (fun () -> Design_gen.gated_memory_fabric ~banks:2 ~addr_bits:9 ());
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* The generator-spec grammar (satellite 1) *)
+
+let test_spec_good () =
+  (* Specs and direct constructor calls produce byte-identical netlists —
+     the CLI and bench really share one parser. *)
+  let same spec direct =
+    match Design_gen.of_spec spec with
+    | Error d -> Alcotest.failf "spec %S rejected: %a" spec Diag.pp d
+    | Ok d ->
+        Alcotest.(check bool)
+          (Printf.sprintf "spec %S == direct call" spec)
+          true
+          (String.equal
+             (Serial.to_string d.Design_gen.netlist)
+             (Serial.to_string direct.Design_gen.netlist))
+  in
+  same "fig1" (Design_gen.fig1 ());
+  same "handshake" (Design_gen.handshake ());
+  same "design2:scale=0.03,seed=7" (Design_gen.design2_like ~seed:7 ~scale:0.03 ());
+  same "random:domains=3,modules=15,mts=0.2,seed=4"
+    (Design_gen.random_multidomain ~seed:4 ~domains:3 ~modules:15
+       ~mts_fraction:0.2 ());
+  same "gals:islands=5,size=2,depth=3,seed=8"
+    (Design_gen.gals_islands ~seed:8 ~islands:5 ~island_size:2 ~wrapper_depth:3 ());
+  same "dense:domains=9,density=0.4,seed=2"
+    (Design_gen.dense_crossing ~seed:2 ~domains:9 ~density:0.4 ());
+  same "fabric:banks=4,domains=3,addr=2,seed=3"
+    (Design_gen.gated_memory_fabric ~seed:3 ~banks:4 ~domains:3 ~addr_bits:2 ())
+
+let test_spec_bad () =
+  let rejects spec =
+    match Design_gen.of_spec spec with
+    | Ok _ -> Alcotest.failf "spec %S should have been rejected" spec
+    | Error d ->
+        Alcotest.(check string)
+          (Printf.sprintf "spec %S fails with E_PARSE" spec)
+          "E_PARSE" (Diag.code_name d.Diag.code)
+  in
+  List.iter rejects
+    [
+      "nosuchfamily";
+      "gals:" (* empty parameter list after ':' *);
+      "gals:islands";
+      "gals:islands=";
+      "gals:islands=abc";
+      "gals:bogus=3";
+      "gals:islands=1";
+      (* out-of-range: islands must be >= 2 *)
+      "dense:domains=8,density=1.5";
+      "fabric:banks=4,addr=99";
+      "fig1:scale=2";
+      (* fig1 takes no parameters *)
+      "random:domains=0,modules=5,mts=0.2";
+    ]
+
+let test_spec_defaults () =
+  (* A bare family name with defaults parses and generates. *)
+  List.iter
+    (fun spec ->
+      match Design_gen.of_spec spec with
+      | Ok d ->
+          Alcotest.(check bool)
+            (spec ^ " generates a non-empty netlist")
+            true
+            (Netlist.num_cells d.Design_gen.netlist > 0)
+      | Error d -> Alcotest.failf "spec %S rejected: %a" spec Diag.pp d)
+    [ "gals"; "dense"; "fabric"; "random"; "design1"; "design2" ]
+
+let suite =
+  [
+    Alcotest.test_case "gals: structural invariants" `Quick test_gals_structure;
+    Alcotest.test_case "dense: structural invariants" `Quick
+      test_dense_structure;
+    Alcotest.test_case "dense: crossing-count bounds" `Quick
+      test_dense_crossing_count;
+    Alcotest.test_case "fabric: structural invariants" `Quick
+      test_fabric_structure;
+    Alcotest.test_case "determinism: all families byte-identical" `Quick
+      test_determinism_all_families;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "sweep: compile+verify both modes" `Slow
+      test_sweep_compile_verify;
+    Alcotest.test_case "spec: good specs match direct calls" `Quick
+      test_spec_good;
+    Alcotest.test_case "spec: malformed specs are E_PARSE" `Quick test_spec_bad;
+    Alcotest.test_case "spec: family defaults" `Quick test_spec_defaults;
+    QCheck_alcotest.to_alcotest prop_families_clean_or_structured;
+    QCheck_alcotest.to_alcotest prop_bad_params_structured;
+  ]
