@@ -309,9 +309,60 @@ let write_pipeline_json path =
   close_out oc;
   Printf.eprintf "wrote %s\n%!" path
 
+(* ---- The regression gate (--baseline FILE --check).
+
+   The fresh pipeline document is diffed against a committed baseline with
+   the per-metric-class tolerances of [Msched_explain.Baseline]; any
+   regression writes BENCH_diff.json, prints the verdict table and exits
+   non-zero, which is what CI keys on. *)
+
+let arg_value flag =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_gate ~baseline fresh_path =
+  let module Baseline = Msched_explain.Baseline in
+  let module Diag = Msched_diag.Diag in
+  match Baseline.compare_runs ~baseline ~fresh:(read_file fresh_path) with
+  | Error d ->
+      Format.eprintf "bench gate: %a@." Diag.pp d;
+      exit (Diag.exit_code d.Diag.code)
+  | Ok diff ->
+      let oc = open_out "BENCH_diff.json" in
+      output_string oc (Baseline.to_json diff);
+      output_string oc "\n";
+      close_out oc;
+      Format.eprintf "%a@.wrote BENCH_diff.json@." Baseline.pp diff;
+      if not (Baseline.ok diff) then exit 1
+
 let main () =
+  (* Snapshot the baseline BEFORE the fresh run overwrites it: the
+     committed baseline usually IS BENCH_pipeline.json. *)
+  let baseline =
+    match arg_value "--baseline" with
+    | Some path when Array.exists (( = ) "--check") Sys.argv ->
+        Some (read_file path)
+    | Some _ | None -> None
+  in
   write_pipeline_json "BENCH_pipeline.json";
-  if Array.exists (( = ) "--pipeline-only") Sys.argv then exit 0;
+  (match baseline with
+  | Some baseline -> run_gate ~baseline "BENCH_pipeline.json"
+  | None -> ());
+  if
+    Array.exists (( = ) "--pipeline-only") Sys.argv
+    || Array.exists (( = ) "--check") Sys.argv
+  then exit 0;
   let results = benchmark () in
   let window =
     match Notty_unix.winsize Unix.stdout with

@@ -5,7 +5,8 @@
                      [--forward] [--retries N] [--fallback-hard] [--cold]
                      [--max-extra N] [--diag-json FILE]
      msched lint     design.mnl [--diag-json FILE]
-     msched check    design.mnl|SPEC [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward]
+     msched check    design.mnl|SPEC [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward] [--json FILE]
+     msched explain  design.mnl|SPEC [--mode virtual|hard|naive] [--json FILE] [--trace FILE]
      msched stats    design.mnl
      msched dot      design.mnl [--partition] > design.dot
      msched simulate design.mnl [--horizon PS] [--seed N] [--diag-json FILE]
@@ -247,7 +248,75 @@ let lint_cmd path diag_json =
   | Some p -> write_out p (Diag.Report.to_json rep ^ "\n"));
   if Diag.Report.has_errors rep then exit (Diag.Report.exit_code rep)
 
-let check_cmd path pins weight mode forward trace =
+(* The machine-readable side of [check]: verifier verdict plus the
+   schedule-quality numbers a dashboard wants next to it (utilization and
+   the replayed critical path). *)
+let check_json ~design ~mode ~route prepared sched
+    (report : Msched_check.Verify.report) =
+  let module J = Diag.Json in
+  let sys = prepared.Msched.Compile.system in
+  let chain = Msched_explain.Explain.critical_chain ~route prepared sched in
+  let b = Buffer.create 1024 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  J.field b ~first "schema" (J.string "msched-check-1");
+  J.field b ~first "design" (J.string design);
+  J.field b ~first "mode" (J.string mode);
+  J.field b ~first "clean"
+    (string_of_bool (Msched_check.Verify.is_clean report));
+  J.field b ~first "violations"
+    (string_of_int (List.length report.Msched_check.Verify.violations));
+  let kinds =
+    List.sort_uniq compare
+      (List.map Msched_check.Verify.kind_name
+         report.Msched_check.Verify.violations)
+  in
+  let kb = Buffer.create 128 in
+  let kf = ref true in
+  Buffer.add_char kb '{';
+  List.iter
+    (fun k ->
+      J.field kb ~first:kf k
+        (string_of_int (Msched_check.Verify.count_kind report k)))
+    kinds;
+  Buffer.add_char kb '}';
+  J.field b ~first "kinds" (Buffer.contents kb);
+  let sb = Buffer.create 256 in
+  let sf = ref true in
+  Buffer.add_char sb '{';
+  J.field sb ~first:sf "length" (string_of_int sched.Schedule.length);
+  J.field sb ~first:sf "driver" (J.string sched.Schedule.length_driver);
+  J.field sb ~first:sf "est_speed_hz"
+    (Printf.sprintf "%.6g" (Schedule.est_speed_hz sched));
+  J.field sb ~first:sf "channel_utilization"
+    (Printf.sprintf "%.6g" (Schedule.channel_utilization sched sys));
+  J.field sb ~first:sf "per_channel_utilization"
+    ("["
+    ^ String.concat ","
+        (Array.to_list
+           (Array.map (Printf.sprintf "%.6g")
+              (Schedule.per_channel_utilization sched sys)))
+    ^ "]");
+  Buffer.add_char sb '}';
+  J.field b ~first "schedule" (Buffer.contents sb);
+  let cb = Buffer.create 128 in
+  let cf = ref true in
+  Buffer.add_char cb '{';
+  J.field cb ~first:cf "exact"
+    (string_of_bool chain.Msched_explain.Explain.ch_exact);
+  J.field cb ~first:cf "driver"
+    (J.string chain.Msched_explain.Explain.ch_driver);
+  J.field cb ~first:cf "hops"
+    (string_of_int (List.length chain.Msched_explain.Explain.ch_hops));
+  J.field cb ~first:cf "span_from" "0";
+  J.field cb ~first:cf "span_to"
+    (string_of_int chain.Msched_explain.Explain.ch_length);
+  Buffer.add_char cb '}';
+  J.field b ~first "critical_path" (Buffer.contents cb);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let check_cmd path pins weight mode forward trace json =
   protect @@ fun () ->
   let nl = netlist_of_design_arg path in
   let obs = sink_of_trace trace in
@@ -266,8 +335,42 @@ let check_cmd path pins weight mode forward trace =
   List.iter
     (fun w -> Format.eprintf "scheduler warning: %s@." w)
     sched.Schedule.warnings;
+  (match json with
+  | None -> ()
+  | Some p ->
+      write_out p
+        (check_json ~design:path ~mode ~route:ropts prepared sched report
+        ^ "\n"));
   write_trace trace obs;
   if not (Msched_check.Verify.is_clean report) then exit 2
+
+let explain_cmd name pins weight mode scale json trace =
+  protect @@ fun () ->
+  let nl = netlist_of_design_arg ~scale name in
+  (* Always record spans: the report's phase-attribution table needs them.
+     (The library itself stays deterministic — tests analyze with a null
+     sink.) *)
+  let obs = Sink.create () in
+  let prepared =
+    Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+  in
+  let ropts = route_options_of mode in
+  let sched = Msched.Compile.route ~obs prepared ropts in
+  let report =
+    Msched_explain.Explain.analyze ~route:ropts ~obs ~design:name prepared
+      sched
+  in
+  let ppf =
+    if json = Some "-" || trace = Some "-" then Format.err_formatter
+    else Format.std_formatter
+  in
+  Format.fprintf ppf "%a@." Msched_explain.Explain.pp_summary report;
+  (match json with
+  | None -> ()
+  | Some p -> write_out p (Msched_explain.Explain.to_json report ^ "\n"));
+  match trace with
+  | None -> ()
+  | Some p -> write_out p (Msched_explain.Explain.perfetto_string report)
 
 let stats_cmd path =
   protect @@ fun () ->
@@ -519,6 +622,15 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write the observability JSON document (\"-\" = stdout)")
 
+let check_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the msched-check-1 verdict JSON (verifier counts, schedule \
+           quality, channel utilization, critical path; \"-\" = stdout)")
+
 let name_arg =
   Arg.(
     required
@@ -591,7 +703,18 @@ let cmds =
          ~doc:"Compile a netlist and statically verify the schedule")
       Term.(
         const check_cmd $ design_arg $ pins_arg $ weight_arg $ mode_arg
-        $ forward_arg $ trace_arg);
+        $ forward_arg $ trace_arg $ check_json_arg);
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Compile a design and explain the schedule: the critical chain \
+            whose slot span equals the frame length, per-channel occupancy \
+            analytics, and an Amdahl-style compile-phase attribution \
+            (--json = msched-explain-1 document, --trace = Perfetto \
+            occupancy counter tracks)")
+      Term.(
+        const explain_cmd $ design_arg $ pins_arg $ weight_arg $ mode_arg
+        $ scale_arg $ json_arg $ trace_arg);
     Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
       Term.(const stats_cmd $ path_arg);
     Cmd.v (Cmd.info "dot" ~doc:"Graphviz DOT export")

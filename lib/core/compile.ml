@@ -59,7 +59,15 @@ let compile_error d = raise (Compile_error d)
 
 let prepare ?(options = default_options) original =
   let obs = options.obs in
-  Sink.span obs "prepare" @@ fun () ->
+  Sink.span obs
+    ~args:
+      [
+        ("cells", string_of_int (Netlist.num_cells original));
+        ("nets", string_of_int (Netlist.num_nets original));
+        ("domains", string_of_int (Netlist.num_domains original));
+      ]
+    "prepare"
+  @@ fun () ->
   let analysis0 =
     Sink.span obs "domain-analysis" @@ fun () ->
     Domain_analysis.compute ~obs original

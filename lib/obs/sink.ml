@@ -104,6 +104,14 @@ let span t ?(args = []) name f =
       in
       Fun.protect ~finally:close f
 
+let annotate t kvs =
+  match t with
+  | Null -> ()
+  | Enabled s -> (
+      match s.stack with
+      | [] -> ()
+      | os :: rest -> s.stack <- { os with os_args = os.os_args @ kvs } :: rest)
+
 let add t name d =
   match t with
   | Null -> ()

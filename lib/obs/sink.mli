@@ -54,6 +54,13 @@ val span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span t name f] times [f ()] as a span nested inside the innermost
     span currently open on [t].  The span is closed even if [f] raises. *)
 
+val annotate : t -> (string * string) list -> unit
+(** Append key/value args to the innermost span currently open on [t],
+    after any args given at creation.  Lets a phase attach results it only
+    knows at the end (link counts, accepted moves) to its own span, making
+    exported traces self-describing.  No-op on a disabled sink or when no
+    span is open. *)
+
 val add : t -> string -> int -> unit
 (** Add to a counter (created at zero on first touch).  Counters are
     monotone by convention: pass non-negative deltas. *)

@@ -218,7 +218,12 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = [])
       end
     done;
     Msched_obs.Sink.add obs "place.moves_tried" !tried;
-    Msched_obs.Sink.add obs "place.moves_accepted" !accepted
+    Msched_obs.Sink.add obs "place.moves_accepted" !accepted;
+    Msched_obs.Sink.annotate obs
+      [
+        ("moves_accepted", string_of_int !accepted);
+        ("moves_rejected", string_of_int (!tried - !accepted));
+      ]
   end;
   Msched_obs.Sink.gauge obs "place.wirelength"
     (float_of_int (cost_of sys conns fpga_of_block));

@@ -55,18 +55,35 @@ let find_transports t ~net ~dst_block =
 let holdoff_of t cell =
   List.find_opt (fun h -> Ids.Cell.equal h.ho_cell cell) t.holdoffs
 
+let per_channel_utilization t sys =
+  Array.mapi
+    (fun i (c : System.channel) ->
+      let used = t.peak_channel_usage.(i) + t.dedicated_per_channel.(i) in
+      float_of_int used /. float_of_int c.System.width)
+    (System.channels sys)
+
 let channel_utilization t sys =
-  let channels = System.channels sys in
-  if Array.length channels = 0 then 0.0
-  else begin
-    let total = ref 0.0 in
-    Array.iteri
-      (fun i (c : System.channel) ->
-        let used = t.peak_channel_usage.(i) + t.dedicated_per_channel.(i) in
-        total := !total +. (float_of_int used /. float_of_int c.System.width))
-      channels;
-    !total /. float_of_int (Array.length channels)
-  end
+  let per = per_channel_utilization t sys in
+  if Array.length per = 0 then 0.0
+  else
+    Array.fold_left ( +. ) 0.0 per /. float_of_int (Array.length per)
+
+let occupancy_matrix t sys =
+  let nc = Array.length (System.channels sys) in
+  let m = Array.make_matrix nc (t.length + 1) 0 in
+  List.iter
+    (fun ls ->
+      List.iter
+        (fun tr ->
+          if not tr.tr_hard then
+            List.iter
+              (fun (c, slot) ->
+                if c >= 0 && c < nc && slot >= 0 && slot <= t.length then
+                  m.(c).(slot) <- m.(c).(slot) + 1)
+              tr.tr_hops)
+        ls.ls_transports)
+    t.link_scheds;
+  m
 
 let mean_transport_latency t =
   let n = ref 0 and sum = ref 0 in

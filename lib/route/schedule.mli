@@ -67,9 +67,19 @@ val find_transports :
 
 val holdoff_of : t -> Ids.Cell.t -> holdoff option
 
+val per_channel_utilization : t -> Msched_arch.System.t -> float array
+(** Per channel: (peak multiplexed + dedicated wires) / width. *)
+
 val channel_utilization : t -> Msched_arch.System.t -> float
-(** Mean over channels of (peak multiplexed + dedicated wires) / width —
-    how hard the schedule leans on the physical wire pool. *)
+(** Mean over channels of {!per_channel_utilization} — how hard the
+    schedule leans on the physical wire pool. *)
+
+val occupancy_matrix : t -> Msched_arch.System.t -> int array array
+(** [channel × (length + 1)] matrix of multiplexed hop counts: entry
+    [(c, s)] is the number of time-multiplexed transport hops crossing
+    channel [c] at forward slot [s].  Dedicated (hard) wires are excluded —
+    they occupy their channel continuously and are reported separately in
+    [dedicated_per_channel]. *)
 
 val mean_transport_latency : t -> float
 (** Average arrival − departure over all transports (0 when there are

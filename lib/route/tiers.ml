@@ -129,6 +129,7 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
   Sink.add obs "sched.links" (Array.length links);
   Sink.add obs "sched.hard_links"
     (Array.fold_left (fun n l -> if l.Link.hard then n + 1 else n) 0 links);
+  Sink.annotate obs [ ("links", string_of_int (Array.length links)) ];
   let res = Resource.create sys in
 
   (* ---- Hard-routing pre-pass: dedicate wires for MTS crossings. ---- *)

@@ -148,6 +148,7 @@ type batch_result = {
   b_results : job_result array;  (** In job order, always. *)
   b_jobs : int;  (** Worker count actually used. *)
   b_max_inflight : int;
+  b_queue_peak : int;
   b_wall_s : float;
 }
 
@@ -164,6 +165,8 @@ let run_batch ?(jobs = 1) settings job_list =
     b_results = results;
     b_jobs = jobs;
     b_max_inflight = stats.Pool.max_inflight;
+    (* Every task beyond the worker count starts its life queued. *)
+    b_queue_peak = max 0 (Array.length tasks - jobs);
     b_wall_s = wall;
   }
 
@@ -239,6 +242,7 @@ let summary_json batch =
   J.field b ~first "failed" (string_of_int failed);
   J.field b ~first "jobs" (string_of_int batch.b_jobs);
   J.field b ~first "max_inflight" (string_of_int batch.b_max_inflight);
+  J.field b ~first "queue_depth_peak" (string_of_int batch.b_queue_peak);
   let cb = Buffer.create 128 in
   let cf = ref true in
   Buffer.add_char cb '{';
@@ -305,6 +309,7 @@ let record_obs obs batch =
     Sink.gauge obs "server.jobs_inflight_max"
       (float_of_int batch.b_max_inflight);
     Sink.gauge obs "server.workers" (float_of_int batch.b_jobs);
+    Sink.gauge obs "server.queue_depth_peak" (float_of_int batch.b_queue_peak);
     Array.iter
       (fun r ->
         Sink.incr obs "server.jobs";
@@ -405,6 +410,7 @@ let serve settings ic oc =
       b_results = Array.of_list (List.rev !results);
       b_jobs = 1;
       b_max_inflight = 1;
+      b_queue_peak = 0;
       b_wall_s = Unix.gettimeofday () -. t0;
     }
   in

@@ -68,6 +68,10 @@ type batch_result = {
   b_results : job_result array;  (** In job order, always. *)
   b_jobs : int;  (** Worker count actually used. *)
   b_max_inflight : int;
+  b_queue_peak : int;
+      (** Peak depth of the pending-task queue: tasks that existed before a
+          worker slot freed up for them ([max 0 (tasks - jobs)]; 0 in
+          [serve], which admits one job at a time). *)
   b_wall_s : float;
 }
 

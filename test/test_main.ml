@@ -30,4 +30,5 @@ let () =
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("server", Test_server.suite);
+      ("explain", Test_explain.suite);
     ]
