@@ -250,6 +250,101 @@ let batch_doc () =
      else 0.0)
     (count Server.Cache_warm warm)
 
+(* Socket-serve throughput: req/s and p50/p99 latency over a REAL tcp
+   socket at 1 vs 4 worker domains, 4 concurrent client connections each —
+   the full hardened path (framing, dispatch queue, worker domains,
+   response write-back), not just [run_batch].  Latency is per request,
+   measured at the client. *)
+let serve_doc () =
+  let module Serial = Msched_netlist.Serial in
+  let module Dispatch = Msched_server.Dispatch in
+  let module Transport = Msched_server.Transport in
+  let requests_per_client = 6 and clients = 4 in
+  let texts =
+    Array.init (requests_per_client * clients) (fun i ->
+        Serial.to_string
+          (Design_gen.random_multidomain ~seed:(800 + i) ~domains:2
+             ~modules:12 ~mts_fraction:0.25 ())
+            .Design_gen.netlist)
+  in
+  let run_round ~workers =
+    let cfg =
+      {
+        Transport.default_config with
+        Transport.t_address = Transport.Tcp ("127.0.0.1", 0);
+        t_dispatch =
+          { Dispatch.default_config with Dispatch.d_workers = workers };
+      }
+    in
+    let srv = Transport.start cfg in
+    let port =
+      match Transport.bound_address srv with
+      | Transport.Tcp (_, p) -> p
+      | Transport.Unix_path _ -> assert false
+    in
+    let latencies = Array.make (Array.length texts) 0.0 in
+    let client ci =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let buf = Bytes.create 65536 in
+      let carry = ref "" in
+      let recv_line () =
+        let rec go () =
+          match String.index_opt !carry '\n' with
+          | Some i ->
+              let line = String.sub !carry 0 i in
+              carry := String.sub !carry (i + 1) (String.length !carry - i - 1);
+              line
+          | None -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> failwith "serve bench: server closed early"
+              | n ->
+                  carry := !carry ^ Bytes.sub_string buf 0 n;
+                  go ())
+        in
+        go ()
+      in
+      for r = 0 to requests_per_client - 1 do
+        let idx = (ci * requests_per_client) + r in
+        let req =
+          Printf.sprintf "{\"text\":%s}\n"
+            (Msched_diag.Diag.Json.string texts.(idx))
+        in
+        let t0 = Unix.gettimeofday () in
+        let rec write off =
+          if off < String.length req then
+            write (off + Unix.write_substring fd req off (String.length req - off))
+        in
+        write 0;
+        ignore (recv_line ());
+        latencies.(idx) <- Unix.gettimeofday () -. t0
+      done;
+      Unix.close fd
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (Thread.create client) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Transport.request_shutdown srv `Drain;
+    let s = Transport.wait srv in
+    Array.sort compare latencies;
+    let pct p =
+      let n = Array.length latencies in
+      latencies.(min (n - 1) (int_of_float (p *. float_of_int n)))
+    in
+    Printf.sprintf
+      "{\"workers\":%d,\"clients\":%d,\"requests\":%d,\"wall_s\":%.6f,\"req_per_s\":%.2f,\"latency_p50_s\":%.6f,\"latency_p99_s\":%.6f,\"peak_inflight\":%d,\"drain_clean\":%b}"
+      workers clients (Array.length texts) wall
+      (if wall > 0.0 then float_of_int (Array.length texts) /. wall else 0.0)
+      (pct 0.50) (pct 0.99)
+      s.Transport.sm_counters.Dispatch.c_peak_inflight s.Transport.sm_clean
+  in
+  let w1 = run_round ~workers:1 in
+  let w4 = run_round ~workers:4 in
+  Printf.sprintf "{\"cores\":%d,\"rounds\":[%s,%s]}"
+    (Domain.recommended_domain_count ())
+    w1 w4
+
 (* The GALS/handshake workload families (ISSUE 6), through the shared
    generator-spec parser: per spec, how MTS fraction and domain count drive
    schedule length and estimated emulation frequency.  Default pins/weight
@@ -300,9 +395,9 @@ let workloads_doc () =
 let write_pipeline_json path =
   let doc =
     Printf.sprintf
-      "{\"schema\":\"msched-bench-pipeline-4\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s,\"workloads\":%s}\n"
+      "{\"schema\":\"msched-bench-pipeline-5\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s,\"serve\":%s,\"workloads\":%s}\n"
       (pipeline_doc design1) (pipeline_doc design2) (driver_doc ())
-      (batch_doc ()) (workloads_doc ())
+      (batch_doc ()) (serve_doc ()) (workloads_doc ())
   in
   let oc = open_out path in
   output_string oc doc;

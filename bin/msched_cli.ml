@@ -44,6 +44,9 @@ module Sink = Msched_obs.Sink
 module Obs_export = Msched_obs.Export
 module Server = Msched_server.Server
 module Manifest = Msched_server.Manifest
+module Cache = Msched_server.Cache
+module Dispatch = Msched_server.Dispatch
+module Transport = Msched_server.Transport
 
 (* Errors are always printed; warnings are capped so a lint-unclean but
    compilable design doesn't bury the result (full detail via --diag-json). *)
@@ -523,18 +526,97 @@ let batch_cmd source jobs cache_dir out pins weight mode retries fallback_hard
       let code = Server.exit_code batch in
       if code <> 0 then exit code
 
-let serve_cmd use_stdin cache_dir pins weight mode retries fallback_hard cold
-    max_extra =
+let serve_cmd use_stdin socket tcp workers queue_max overload deadline grace
+    cache_max_bytes inject cache_dir pins weight mode retries fallback_hard
+    cold max_extra =
   protect @@ fun () ->
-  if not use_stdin then begin
-    Printf.eprintf "serve: pass --stdin (the only transport so far)\n";
-    exit 1
-  end;
   let settings =
     server_settings pins weight mode retries fallback_hard cold max_extra
       cache_dir false
   in
-  Server.serve settings stdin stdout
+  let address =
+    match (socket, tcp) with
+    | Some _, Some _ ->
+        Printf.eprintf "serve: --socket and --tcp are mutually exclusive\n";
+        exit 2
+    | Some path, None -> Some (Transport.Unix_path path)
+    | None, Some hostport -> (
+        match Transport.parse_address ("tcp:" ^ hostport) with
+        | Ok a -> Some a
+        | Error msg ->
+            Printf.eprintf "serve: %s\n" msg;
+            exit 2)
+    | None, None -> None
+  in
+  match address with
+  | None ->
+      if not use_stdin then begin
+        Printf.eprintf
+          "serve: pass --stdin, --socket PATH, or --tcp HOST:PORT\n";
+        exit 1
+      end;
+      Server.serve settings stdin stdout
+  | Some address ->
+      let overload =
+        match overload with
+        | "shed" -> Dispatch.Shed
+        | "block" -> Dispatch.Block
+        | other ->
+            Printf.eprintf "serve: unknown --overload %S (shed|block)\n" other;
+            exit 2
+      in
+      let cfg =
+        {
+          Transport.default_config with
+          Transport.t_address = address;
+          t_dispatch =
+            {
+              Dispatch.d_workers = workers;
+              d_queue_max = queue_max;
+              d_overload = overload;
+              d_deadline_s = deadline;
+              d_grace_s = grace;
+            };
+          t_settings = settings;
+          t_inject_faults = inject;
+          t_cache_max_bytes = cache_max_bytes;
+        }
+      in
+      let srv = Transport.start cfg in
+      (* First SIGTERM/SIGINT drains gracefully; a second one escalates to
+         abort (queued requests shed, hung workers abandoned). *)
+      let hits = ref 0 in
+      let on_signal _ =
+        incr hits;
+        Transport.request_shutdown srv (if !hits >= 2 then `Abort else `Drain)
+      in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Printf.eprintf "msched serve: listening on %s (%d workers, queue %d, %s)\n%!"
+        (Transport.address_name (Transport.bound_address srv))
+        (max 1 workers) queue_max
+        (Dispatch.overload_name overload);
+      let s = Transport.wait srv in
+      print_endline (Transport.summary_json s);
+      if not s.Transport.sm_clean then exit 1
+
+(* ---- Cache hygiene front end (`msched cache stats|gc`). ---- *)
+
+let cache_stats_cmd dir =
+  protect @@ fun () ->
+  let s = Cache.stats ~dir in
+  Printf.printf
+    "{\"schema\":\"msched-cache-stats-1\",\"dir\":%s,\"entries\":%d,\"bytes\":%d,\"oldest_s\":%.3f}\n"
+    (Diag.Json.string dir) s.Cache.st_entries s.Cache.st_bytes
+    s.Cache.st_oldest_s
+
+let cache_gc_cmd dir max_bytes =
+  protect @@ fun () ->
+  let r = Cache.gc ~dir ~max_bytes in
+  Printf.printf
+    "{\"schema\":\"msched-cache-gc-1\",\"dir\":%s,\"max_bytes\":%d,\"scanned\":%d,\"evicted\":%d,\"bytes_before\":%d,\"bytes_after\":%d}\n"
+    (Diag.Json.string dir) max_bytes r.Cache.gc_scanned r.Cache.gc_evicted
+    r.Cache.gc_bytes_before r.Cache.gc_bytes_after
 
 let gen_cmd name scale =
   protect @@ fun () ->
@@ -684,6 +766,117 @@ let stdin_flag_arg =
            paths, one per line) from standard input; respond with one \
            record per line and a summary at EOF")
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket: framed NDJSON requests, one \
+           response line per request (protocol in docs/SERVER.md)")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Listen on a TCP socket (empty host = 127.0.0.1; port 0 picks a \
+           free port, printed on stderr)")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains compiling requests concurrently")
+
+let queue_max_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-max" ] ~docv:"N"
+        ~doc:
+          "Bound on queued (admitted but not yet running) requests; beyond \
+           it the --overload policy applies")
+
+let overload_arg =
+  Arg.(
+    value & opt string "shed"
+    & info [ "overload" ] ~docv:"shed|block"
+        ~doc:
+          "Full-queue policy: $(b,shed) answers E_OVERLOAD immediately, \
+           $(b,block) makes the request wait for space (still subject to \
+           its deadline)")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request deadline: expired requests are answered \
+           E_TIMEOUT (cancelled if still queued, abandoned if running); a \
+           request's own \"deadline_s\" overrides this")
+
+let grace_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "grace" ] ~docv:"SECONDS"
+        ~doc:
+          "How long an abandoned (timed-out) job may keep its worker before \
+           the worker is written off and replaced")
+
+let cache_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Cap the warm-route cache: a janitor evicts least-recently-used \
+           entries past the cap while the server runs")
+
+let inject_faults_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-faults" ]
+        ~doc:
+          "Accept poison:sleep=N | poison:hang | poison:crash requests \
+           (chaos testing); without this flag they are refused with \
+           E_UNSUPPORTED")
+
+let cache_positional_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Cache directory (as passed to --cache-dir)")
+
+let gc_max_bytes_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "max-bytes" ] ~docv:"BYTES"
+        ~doc:"Evict least-recently-used entries until the cache fits")
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Warm-route cache maintenance: inspect or shrink a --cache-dir \
+          directory (safe against a live server: eviction runs under the \
+          cache lock and never removes in-use entries, which loads keep \
+          fresh by touching their mtime)")
+    [
+      Cmd.v
+        (Cmd.info "stats"
+           ~doc:"Entry count, total bytes and LRU age as one JSON line")
+        Term.(const cache_stats_cmd $ cache_positional_dir_arg);
+      Cmd.v
+        (Cmd.info "gc"
+           ~doc:
+             "Evict least-recently-used entries until the directory fits \
+              --max-bytes; prints a msched-cache-gc-1 JSON line")
+        Term.(const cache_gc_cmd $ cache_positional_dir_arg $ gc_max_bytes_arg);
+    ]
 
 let cmds =
   [
@@ -747,12 +940,18 @@ let cmds =
     Cmd.v
       (Cmd.info "serve"
          ~doc:
-           "Long-lived compile server: NDJSON job requests on stdin, one \
-            result record per line (warm-route cache spans requests)")
+           "Long-lived compile server: NDJSON requests over --stdin, a \
+            --socket (Unix-domain) or --tcp listener; concurrent worker \
+            domains, bounded queue with --overload backpressure, \
+            per-request deadlines, crash recovery, graceful drain on \
+            SIGTERM (twice = abort); see docs/SERVER.md")
       Term.(
-        const serve_cmd $ stdin_flag_arg $ cache_dir_arg $ pins_arg
+        const serve_cmd $ stdin_flag_arg $ socket_arg $ tcp_arg $ workers_arg
+        $ queue_max_arg $ overload_arg $ deadline_arg $ grace_arg
+        $ cache_max_bytes_arg $ inject_faults_arg $ cache_dir_arg $ pins_arg
         $ weight_arg $ mode_arg $ retries_arg $ fallback_hard_arg $ cold_arg
         $ max_extra_arg);
+    cache_cmd;
   ]
 
 let () =

@@ -23,6 +23,8 @@ type code =
   | E_XDOMAIN_FANIN
   | E_INTERNAL
   | E_CACHE
+  | E_TIMEOUT
+  | E_OVERLOAD
 
 let code_name = function
   | E_PARSE -> "E_PARSE"
@@ -40,6 +42,8 @@ let code_name = function
   | E_XDOMAIN_FANIN -> "E_XDOMAIN_FANIN"
   | E_INTERNAL -> "E_INTERNAL"
   | E_CACHE -> "E_CACHE"
+  | E_TIMEOUT -> "E_TIMEOUT"
+  | E_OVERLOAD -> "E_OVERLOAD"
 
 let all_codes =
   [
@@ -58,6 +62,8 @@ let all_codes =
     E_XDOMAIN_FANIN;
     E_INTERNAL;
     E_CACHE;
+    E_TIMEOUT;
+    E_OVERLOAD;
   ]
 
 let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
@@ -73,6 +79,8 @@ let exit_code = function
   | E_UNROUTABLE | E_CAPACITY -> 4
   | E_UNSUPPORTED -> 5
   | E_INTERNAL -> 6
+  | E_TIMEOUT -> 7
+  | E_OVERLOAD -> 8
 
 type severity = Error | Warning
 

@@ -32,6 +32,14 @@ type code =
       (** A persisted artifact (warm-route cache file) is unreadable,
           corrupt, checksum-mismatched or version-skewed.  Warning-class
           in practice: the consumer degrades to a cold start. *)
+  | E_TIMEOUT
+      (** A request exceeded its deadline: the serve dispatcher cancelled
+          it while queued, or abandoned the running compile and answered
+          the client without it. *)
+  | E_OVERLOAD
+      (** The serve request queue is full (or the server is draining) and
+          the shed policy rejected the request.  Retryable by the client
+          once load subsides. *)
 
 val code_name : code -> string
 (** ["E_UNROUTABLE"] etc. — stable. *)
@@ -41,7 +49,8 @@ val all_codes : code list
 
 val exit_code : code -> int
 (** Documented process exit code of the diagnostic class: 2 verification,
-    3 malformed input, 4 infeasible/unroutable, 5 unsupported, 6 internal. *)
+    3 malformed input, 4 infeasible/unroutable, 5 unsupported, 6 internal,
+    7 request deadline exceeded, 8 server overloaded. *)
 
 type severity = Error | Warning
 

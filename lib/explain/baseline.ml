@@ -79,7 +79,7 @@ let extract text =
   | Error at -> Error (parse_error "baseline is not valid JSON (%s)" at)
   | Ok doc -> (
       match Option.bind (J.mem "schema" doc) J.str with
-      | Some "msched-bench-pipeline-4" ->
+      | Some "msched-bench-pipeline-5" ->
           let acc = [] in
           let acc =
             match J.mem "designs" doc with
@@ -168,7 +168,7 @@ let extract text =
       | Some other ->
           Error
             (parse_error
-               "baseline schema is %S, expected \"msched-bench-pipeline-4\""
+               "baseline schema is %S, expected \"msched-bench-pipeline-5\""
                other)
       | None -> Error (parse_error "baseline document has no schema field"))
 

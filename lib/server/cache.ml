@@ -6,10 +6,16 @@
 
    The module is stateless — all functions take the directory explicitly —
    so concurrent worker domains share nothing but the filesystem.  Stores
-   are atomic (write a domain-private temp file, then rename); loads of a
-   missing key are misses; loads of an unreadable, truncated or
-   checksum-mismatched file degrade to a cold start with an E_CACHE
-   warning instead of failing the job. *)
+   are atomic and durable (write a writer-private temp file, fsync it, then
+   rename: a crash mid-write can leave at most a stale temp file, never a
+   short-but-parseable entry); loads of a missing key are misses; loads of
+   an unreadable, truncated or checksum-mismatched file degrade to a cold
+   start with an E_CACHE warning instead of failing the job.
+
+   Hygiene for long-lived servers: a successful load touches the entry's
+   mtime, making mtime an LRU clock; [gc ~max_bytes] evicts
+   oldest-mtime-first under an exclusive lock file until the directory fits
+   the cap, so entries in active use (recently loaded or stored) survive. *)
 
 module Reroute = Msched_route.Reroute
 module Diag = Msched_diag.Diag
@@ -65,6 +71,10 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* A hit bumps the entry's mtime so LRU eviction ([gc]) sees it as in
+   active use.  Best-effort: a read-only cache still serves hits. *)
+let touch path = try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
+
 let load ~dir ~key =
   let path = file ~dir ~key in
   if not (Sys.file_exists path) then Miss
@@ -76,7 +86,9 @@ let load ~dir ~key =
              "warm-route cache %s unreadable (%s); starting cold" path msg)
     | text -> (
         match Reroute.of_json_string text with
-        | Ok ctx -> Hit ctx
+        | Ok ctx ->
+            touch path;
+            Hit ctx
         | Error msg ->
             Corrupt
               (Diag.warning Diag.E_CACHE
@@ -84,21 +96,138 @@ let load ~dir ~key =
 
 let store ~dir ~key ctx =
   let path = file ~dir ~key in
+  (* pid + domain id: unique per writer even when several processes (each
+     with a domain 0) share the directory — two writers can never clobber
+     each other's temp file, and rename keeps the entry itself atomic. *)
   let tmp =
-    Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
   in
   match
-    let oc = open_out_bin tmp in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
     Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        output_string oc (Reroute.to_json_string ctx);
-        output_char oc '\n');
+        let payload = Reroute.to_json_string ctx ^ "\n" in
+        let n = String.length payload in
+        let written = ref 0 in
+        while !written < n do
+          written :=
+            !written + Unix.write_substring fd payload !written (n - !written)
+        done;
+        (* Durability before visibility: without the fsync, a crash after
+           the rename could expose an entry whose tail never reached disk —
+           short but possibly still parseable.  With it, the rename only
+           ever publishes fully-written bytes. *)
+        Unix.fsync fd);
     Sys.rename tmp path
   with
   | () -> Ok ()
-  | exception Sys_error msg ->
+  | exception e ->
+      let msg =
+        match e with
+        | Sys_error msg -> msg
+        | Unix.Unix_error (err, _, _) -> Unix.error_message err
+        | e -> Printexc.to_string e
+      in
       (if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
       Error
         (Diag.warning Diag.E_CACHE "could not persist warm-route cache %s: %s"
            path msg)
+
+(* ---- Hygiene: stats, locking, LRU-by-mtime eviction. ---- *)
+
+let is_entry name =
+  String.length name > String.length "reroute-.json"
+  && String.sub name 0 8 = "reroute-"
+  && Filename.check_suffix name ".json"
+
+(* Entries with their size and mtime; files that vanish mid-scan (another
+   worker's rename or eviction) are skipped, not errors. *)
+let scan dir =
+  let names = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun acc name ->
+      if not (is_entry name) then acc
+      else
+        let path = Filename.concat dir name in
+        match Unix.stat path with
+        | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+            (path, st_size, st_mtime) :: acc
+        | _ | (exception Unix.Unix_error _) -> acc)
+    [] names
+
+type stats = {
+  st_entries : int;
+  st_bytes : int;
+  st_oldest_s : float;  (** Age in seconds of the least-recently-used entry. *)
+}
+
+let stats ~dir =
+  let entries = scan dir in
+  let now = Unix.gettimeofday () in
+  List.fold_left
+    (fun acc (_, size, mtime) ->
+      {
+        st_entries = acc.st_entries + 1;
+        st_bytes = acc.st_bytes + size;
+        st_oldest_s = Float.max acc.st_oldest_s (now -. mtime);
+      })
+    { st_entries = 0; st_bytes = 0; st_oldest_s = 0.0 }
+    entries
+
+let lock_path dir = Filename.concat dir ".msched-cache.lock"
+
+let with_lock ~dir f =
+  ensure_dir dir;
+  let fd =
+    Unix.openfile (lock_path dir) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+        f)
+
+type gc_result = {
+  gc_scanned : int;
+  gc_evicted : int;
+  gc_bytes_before : int;
+  gc_bytes_after : int;
+}
+
+let gc ~dir ~max_bytes =
+  with_lock ~dir (fun () ->
+      let entries = scan dir in
+      let total =
+        List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries
+      in
+      (* Oldest mtime first = least recently used first (loads touch);
+         path tie-break keeps eviction order deterministic. *)
+      let by_age =
+        List.sort
+          (fun (pa, _, ma) (pb, _, mb) ->
+            match compare (ma : float) mb with 0 -> compare pa pb | c -> c)
+          entries
+      in
+      let evicted, bytes_after =
+        List.fold_left
+          (fun (evicted, bytes) (path, size, _) ->
+            if bytes <= max_bytes then (evicted, bytes)
+            else
+              match Sys.remove path with
+              | () -> (evicted + 1, bytes - size)
+              | exception Sys_error _ -> (evicted, bytes))
+          (0, total) by_age
+      in
+      {
+        gc_scanned = List.length entries;
+        gc_evicted = evicted;
+        gc_bytes_before = total;
+        gc_bytes_after = bytes_after;
+      })

@@ -30,8 +30,50 @@ type load =
           E_CACHE warning says why; the caller degrades to a cold start. *)
 
 val load : dir:string -> key:string -> load
+(** A [Hit] also touches the entry's mtime (best-effort), making mtime a
+    least-recently-used clock for {!gc}. *)
 
 val store :
   dir:string -> key:string -> Msched_route.Reroute.t -> (unit, Msched_diag.Diag.t) result
-(** Atomic (temp file + rename), domain-safe.  [Error] carries an E_CACHE
-    warning; persisting is best-effort and never fails a job. *)
+(** Atomic and durable: the entry is written to a writer-private temp file
+    (name includes pid and domain id, so concurrent processes never
+    collide), fsynced, then renamed into place — a crash can leave a stale
+    temp file but never a partially-written entry.  [Error] carries an
+    E_CACHE warning; persisting is best-effort and never fails a job. *)
+
+(** {2 Hygiene: stats, locking, LRU eviction}
+
+    A long-lived serve process grows the cache without bound unless capped.
+    [gc ~max_bytes] evicts entries oldest-mtime-first (loads touch, so
+    mtime order is LRU order) until the directory fits the cap, under an
+    exclusive advisory lock so two gc passes (or gc racing an external
+    [msched cache gc]) never double-delete. *)
+
+type stats = {
+  st_entries : int;  (** Cache entries ([reroute-*.json] files). *)
+  st_bytes : int;  (** Total bytes across entries. *)
+  st_oldest_s : float;
+      (** Age in seconds of the least-recently-used entry; [0.] when
+          empty. *)
+}
+
+val stats : dir:string -> stats
+(** Snapshot of the directory; never raises (an unreadable directory reads
+    as empty). *)
+
+val with_lock : dir:string -> (unit -> 'a) -> 'a
+(** Run [f] holding an exclusive [Unix.lockf] lock on
+    [dir/.msched-cache.lock] (created if missing).  Blocks until the lock
+    is available; always released, even if [f] raises. *)
+
+type gc_result = {
+  gc_scanned : int;
+  gc_evicted : int;
+  gc_bytes_before : int;
+  gc_bytes_after : int;
+}
+
+val gc : dir:string -> max_bytes:int -> gc_result
+(** Evict entries oldest-mtime-first (deterministic path tie-break) until
+    total entry bytes fit [max_bytes], under {!with_lock}.  Entries that
+    vanish mid-scan are skipped; the lock file itself is never evicted. *)

@@ -41,7 +41,13 @@ let map ?(jobs = 1) f tasks =
       | Some i ->
           note_peak (1 + Atomic.fetch_and_add inflight 1);
           let r =
-            match f tasks.(i) with v -> Ok v | exception e -> Error e
+            match f tasks.(i) with
+            | v -> Ok v
+            | exception e ->
+                (* Capture the backtrace at the catch site so the caller
+                   re-raises with the worker's original trace, not the
+                   join-site one. *)
+                Error (e, Printexc.get_raw_backtrace ())
           in
           ignore (Atomic.fetch_and_add inflight (-1));
           results.(i) <- Some r;
@@ -49,12 +55,19 @@ let map ?(jobs = 1) f tasks =
     in
     let domains = List.init jobs (fun _ -> Domain.spawn worker) in
     List.iter Domain.join domains;
+    (* Re-raise the exception of the FIRST failing task (lowest index), no
+       matter which domain ran it or in what order the domains joined. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
     let out =
       Array.map
         (function
           | Some (Ok v) -> v
-          | Some (Error e) -> raise e
-          | None -> assert false (* every index was taken exactly once *))
+          | Some (Error _) | None ->
+              assert false (* every index was taken exactly once *))
         results
     in
     (out, { max_inflight = Atomic.get peak })

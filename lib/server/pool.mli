@@ -3,8 +3,11 @@
     [map ~jobs f tasks] applies [f] to every task on up to [jobs] worker
     domains (clamped to the task count; [jobs <= 1] runs in the calling
     domain with no spawn).  The result array is in task order regardless of
-    scheduling, and an exception raised by any [f] is re-raised in the
-    caller after all domains have joined.
+    scheduling.  If any [f] raises, the exception of the {e first} failing
+    task (lowest task index — deterministic, independent of domain join
+    order) is re-raised in the caller after all domains have joined, with
+    the worker's original backtrace preserved
+    ({!Printexc.raise_with_backtrace}).
 
     [f] must not share mutable state between concurrent invocations: every
     pipeline entry point reachable from {!Msched.Compile.compile} takes its

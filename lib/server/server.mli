@@ -106,6 +106,15 @@ val record_obs : Msched_obs.Sink.t -> batch_result -> unit
     in-flight high-water mark) plus the merged job counters onto a
     main-domain sink.  Call after {!run_batch}; no-op on a null sink. *)
 
+val with_id : string option -> string -> string
+(** Splice [{"id": ...}] in front of a record's first member (identity on
+    [None]); lets transports echo the client's request id. *)
+
+val error_record : ?id:string -> path:string -> Msched_diag.Diag.t list -> string
+(** A [msched-batch-1] record for a request that never reached the driver
+    (parse failure, unreadable file, shed, timed out, worker crash):
+    [result] is null, [exit_code] is the first diagnostic's class. *)
+
 val serve : settings -> in_channel -> out_channel -> unit
 (** Long-lived loop: one NDJSON request ([{"path": ..., "id"?: ...}] or a
     bare path) per stdin line, one [msched-batch-1] response line each

@@ -1,0 +1,104 @@
+(** Socket transport for `msched serve`: framed NDJSON requests over a
+    Unix-domain or TCP stream socket, dispatched onto {!Dispatch} worker
+    domains — one response line per request, per-connection summary at
+    client EOF, [msched-serve-summary-1] from {!wait} after shutdown.
+
+    Protocol grammar, timeout/backpressure semantics and the drain state
+    machine are documented in [docs/SERVER.md]; the failure taxonomy
+    (E_PARSE / E_OVERLOAD / E_TIMEOUT / E_INTERNAL / E_UNSUPPORTED) in
+    [docs/ROBUSTNESS.md]. *)
+
+type address = Unix_path of string | Tcp of string * int
+
+val address_name : address -> string
+(** ["unix:/path"] / ["tcp:host:port"]. *)
+
+val parse_address : string -> (address, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"] (empty host means 127.0.0.1), or a
+    bare path (Unix-domain). *)
+
+(** Fault-injection requests, accepted only when the server was started
+    with fault injection enabled (they exercise the dispatcher's timeout,
+    hang-replacement and crash-recovery paths from real clients). *)
+type poison =
+  | Sleep of float  (** Hold a worker for N seconds, then compile. *)
+  | Hang  (** Hold a worker until the server aborts. *)
+  | Crash  (** Raise inside the worker: kills its domain. *)
+
+val poison_name : poison -> string
+
+type request =
+  | Q_blank
+  | Q_compile of {
+      q_source : [ `Path of string | `Text of string ];
+      q_id : string option;
+      q_deadline_s : float option;
+    }
+  | Q_poison of {
+      q_poison : poison;
+      q_id : string option;
+      q_deadline_s : float option;
+    }
+  | Q_shutdown of [ `Drain | `Abort ]
+  | Q_bad of Msched_diag.Diag.t
+
+val parse_request : inject_faults:bool -> string -> request
+(** One request line.  Poison lines parse to {!Q_bad} (E_UNSUPPORTED)
+    unless [inject_faults]. *)
+
+type config = {
+  t_address : address;
+  t_dispatch : Dispatch.config;
+  t_settings : Server.settings;
+  t_inject_faults : bool;
+  t_max_frame : int;
+      (** Max request-line bytes; an unterminated frame beyond this is
+          answered with E_PARSE and the connection closed. *)
+  t_cache_max_bytes : int option;
+      (** Cache size cap, enforced by a janitor thread (and once at start
+          and shutdown) via {!Cache.gc}. *)
+  t_gc_interval_s : float;
+  t_drain_timeout_s : float;
+  t_abort_timeout_s : float;
+}
+
+val default_config : config
+
+type t
+
+val start : ?sink:Msched_obs.Sink.t -> config -> t
+(** Bind, listen, spawn the dispatcher (workers + monitor), the accept
+    thread and the cache janitor; returns immediately.  Ignores SIGPIPE.
+    @raise Msched_diag.Diag.Fail when the Unix listen path exists and is
+    not a socket. *)
+
+val bound_address : t -> address
+(** The actual bound address — resolves TCP port 0 to the kernel-chosen
+    port (how tests listen on a free port). *)
+
+val request_shutdown : t -> [ `Drain | `Abort ] -> unit
+(** Async-signal-safe shutdown request (sets a flag {!wait} polls).
+    Escalates drain to abort; never de-escalates.  Also triggered by a
+    client sending [{"op": "shutdown"}]. *)
+
+type summary = {
+  sm_counters : Dispatch.counters;
+  sm_connections : int;
+  sm_disconnects : int;  (** Clients that vanished mid-session. *)
+  sm_frame_errors : int;
+  sm_evictions : int;  (** Cache entries evicted by the janitor. *)
+  sm_wall_s : float;
+  sm_clean : bool;
+      (** Every worker finished within the timeout and no abort
+          escalation happened. *)
+}
+
+val wait : t -> summary
+(** Block until a shutdown is requested, then run it: stop accepting
+    connections, drain (or abort) the dispatcher — every in-flight request
+    is answered, queued requests run to completion on drain or are shed
+    with E_OVERLOAD on abort — flush per-connection summaries, close
+    sessions, release the socket.  Call once. *)
+
+val summary_json : summary -> string
+(** The [msched-serve-summary-1] line. *)

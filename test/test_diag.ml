@@ -30,7 +30,7 @@ let test_code_roundtrip () =
 
 let test_exit_codes () =
   (* The documented classes: 2 verification, 3 malformed input, 4
-     infeasible, 5 unsupported, 6 internal. *)
+     infeasible, 5 unsupported, 6 internal, 7 timeout, 8 overload. *)
   Alcotest.(check int) "verify" 2 (Diag.exit_code Diag.E_VERIFY);
   Alcotest.(check int) "hold" 2 (Diag.exit_code Diag.E_HOLD_VIOLATION);
   Alcotest.(check int) "parse" 3 (Diag.exit_code Diag.E_PARSE);
@@ -39,13 +39,15 @@ let test_exit_codes () =
   Alcotest.(check int) "capacity" 4 (Diag.exit_code Diag.E_CAPACITY);
   Alcotest.(check int) "unsupported" 5 (Diag.exit_code Diag.E_UNSUPPORTED);
   Alcotest.(check int) "internal" 6 (Diag.exit_code Diag.E_INTERNAL);
+  Alcotest.(check int) "timeout" 7 (Diag.exit_code Diag.E_TIMEOUT);
+  Alcotest.(check int) "overload" 8 (Diag.exit_code Diag.E_OVERLOAD);
   List.iter
     (fun c ->
       let e = Diag.exit_code c in
       Alcotest.(check bool)
-        (Diag.code_name c ^ " exit in 2..6")
+        (Diag.code_name c ^ " exit in 2..8")
         true
-        (e >= 2 && e <= 6))
+        (e >= 2 && e <= 8))
     Diag.all_codes
 
 let test_report_accumulates () =

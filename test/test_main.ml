@@ -30,5 +30,6 @@ let () =
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("server", Test_server.suite);
+      ("serve-net", Test_serve_net.suite);
       ("explain", Test_explain.suite);
     ]

@@ -1,0 +1,564 @@
+(* Chaos suite for the hardened concurrent serve: real sockets, real
+   worker domains, injected faults.  Every scenario must end in a
+   documented E_* diagnostic and exit class — never a hang, a lost
+   response, or a dead server:
+
+   - concurrent clients over Unix-domain and TCP sockets
+   - slow / hung / crashing jobs (poison requests, --inject-faults only)
+   - deadlines: cancelled-in-queue and abandoned-while-running (E_TIMEOUT)
+   - backpressure: shed (E_OVERLOAD) and block policies on a full queue
+   - worker crash recovery (domain reaped, replacement spawned)
+   - hung-worker replacement after the grace period
+   - malformed and oversized frames, mid-request client disconnects
+   - graceful drain with zero lost in-flight responses; abort escalation
+   - cache LRU eviction under a live server
+   - server.* gauges sampled by the monitor, asserted against the faults *)
+
+module Diag = Msched_diag.Diag
+module Sink = Msched_obs.Sink
+module Serial = Msched_netlist.Serial
+module Design_gen = Msched_gen.Design_gen
+module Server = Msched_server.Server
+module Cache = Msched_server.Cache
+module Dispatch = Msched_server.Dispatch
+module Transport = Msched_server.Transport
+
+let good_text ?(seed = 901) () =
+  Serial.to_string
+    (Design_gen.random_multidomain ~seed ~domains:2 ~modules:6
+       ~mts_fraction:0.25 ())
+      .Design_gen.netlist
+
+let broken_text = "design broken\nnet x\n"
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "msched-serve-net-%d-%d" (Unix.getpid ()) !n)
+    in
+    Cache.ensure_dir dir;
+    dir
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* ---- Server / client helpers. ---- *)
+
+let config ?(address = Transport.Tcp ("127.0.0.1", 0)) ?(workers = 2)
+    ?(queue_max = 64) ?(overload = Dispatch.Shed) ?(grace = 0.3) ?cache_dir
+    ?cache_max_bytes ?(inject = false) ?max_frame ?(gc_interval = 0.2) () =
+  {
+    Transport.t_address = address;
+    t_dispatch =
+      {
+        Dispatch.default_config with
+        Dispatch.d_workers = workers;
+        d_queue_max = queue_max;
+        d_overload = overload;
+        d_grace_s = grace;
+      };
+    t_settings =
+      (match cache_dir with
+      | None -> Server.default_settings
+      | Some dir ->
+          { Server.default_settings with Server.s_cache_dir = Some dir });
+    t_inject_faults = inject;
+    t_max_frame =
+      (match max_frame with
+      | Some n -> n
+      | None -> Transport.default_config.Transport.t_max_frame);
+    t_cache_max_bytes = cache_max_bytes;
+    t_gc_interval_s = gc_interval;
+    t_drain_timeout_s = 10.0;
+    t_abort_timeout_s = 3.0;
+  }
+
+type client = { c_fd : Unix.file_descr; mutable c_carry : string }
+
+let connect srv =
+  match Transport.bound_address srv with
+  | Transport.Tcp (_, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      { c_fd = fd; c_carry = "" }
+  | Transport.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      { c_fd = fd; c_carry = "" }
+
+let send_raw c s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring c.c_fd s off (n - off))
+  in
+  go 0
+
+let send c line = send_raw c (line ^ "\n")
+
+(* One response line, or [None] on clean EOF.  Raises on timeout so a
+   lost response fails the test instead of hanging it. *)
+let recv ?(timeout_s = 30.0) c =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match String.index_opt c.c_carry '\n' with
+    | Some i ->
+        let line = String.sub c.c_carry 0 i in
+        c.c_carry <-
+          String.sub c.c_carry (i + 1) (String.length c.c_carry - i - 1);
+        Some line
+    | None ->
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0.0 then
+          Alcotest.failf "timed out waiting for a response (carry=%S)"
+            c.c_carry
+        else begin
+          match Unix.select [ c.c_fd ] [] [] (Float.min left 0.2) with
+          | [], _, _ -> go ()
+          | _ -> (
+              match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  if c.c_carry <> "" then begin
+                    let line = c.c_carry in
+                    c.c_carry <- "";
+                    Some line
+                  end
+                  else None
+              | n ->
+                  c.c_carry <- c.c_carry ^ Bytes.sub_string chunk 0 n;
+                  go ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None)
+        end
+  in
+  go ()
+
+let close c = try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+let recv_exn ?timeout_s c =
+  match recv ?timeout_s c with
+  | Some line -> line
+  | None -> Alcotest.fail "connection closed while expecting a response"
+
+(* ---- Response dissection. ---- *)
+
+let json line =
+  match Diag.Json.parse line with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unparseable response %S: %s" line m
+
+let str_mem k line = Option.bind (Diag.Json.mem k (json line)) Diag.Json.str
+let int_mem k line = Option.bind (Diag.Json.mem k (json line)) Diag.Json.int
+
+let schema line =
+  match str_mem "schema" line with
+  | Some s -> s
+  | None -> Alcotest.failf "response without schema: %S" line
+
+let exit_code line =
+  match int_mem "exit_code" line with
+  | Some e -> e
+  | None -> Alcotest.failf "response without exit_code: %S" line
+
+let diag_codes line =
+  match
+    Option.bind (Diag.Json.mem "diagnostics" (json line)) Diag.Json.arr
+  with
+  | None -> []
+  | Some ds ->
+      List.filter_map
+        (fun d -> Option.bind (Diag.Json.mem "code" d) Diag.Json.str)
+        ds
+
+let check_failure ~what ~code ~exit line =
+  Alcotest.(check string) (what ^ ": schema") "msched-batch-1" (schema line);
+  Alcotest.(check int) (what ^ ": exit class") exit (exit_code line);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: carries %s (got %s)" what code
+       (String.concat "," (diag_codes line)))
+    true
+    (List.mem code (diag_codes line))
+
+let drain_and_wait srv =
+  Transport.request_shutdown srv `Drain;
+  Transport.wait srv
+
+let gauge_of sink name =
+  match List.assoc_opt name (Sink.gauges sink) with
+  | Some v -> int_of_float v
+  | None -> Alcotest.failf "gauge %s never sampled" name
+
+(* ---- Scenarios. ---- *)
+
+let test_roundtrip_unix () =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "serve.sock" in
+  let mnl = Filename.concat dir "good.mnl" in
+  write_file mnl (good_text ());
+  let srv = Transport.start (config ~address:(Transport.Unix_path sock) ()) in
+  let c = connect srv in
+  (* JSON path form with id; bare path form; inline text form. *)
+  send c (Printf.sprintf {|{"path":%s,"id":"req-1"}|} (Diag.Json.string mnl));
+  let r1 = recv_exn c in
+  Alcotest.(check (option string)) "id echoed" (Some "req-1") (str_mem "id" r1);
+  Alcotest.(check int) "path request compiles" 0 (exit_code r1);
+  send c mnl;
+  Alcotest.(check int) "bare path compiles" 0 (exit_code (recv_exn c));
+  send c (Printf.sprintf {|{"text":%s}|} (Diag.Json.string (good_text ())));
+  Alcotest.(check int) "inline text compiles" 0 (exit_code (recv_exn c));
+  (* Broken design: per-request failure, connection stays usable. *)
+  send c
+    (Printf.sprintf {|{"text":%s,"id":"bad"}|} (Diag.Json.string broken_text));
+  let rb = recv_exn c in
+  Alcotest.(check int) "broken design exits 3" 3 (exit_code rb);
+  Alcotest.(check (option string)) "failure echoes id" (Some "bad")
+    (str_mem "id" rb);
+  (* Shutdown op acks, the drain flushes the connection summary. *)
+  send c {|{"op":"shutdown"}|};
+  let ack = recv_exn c in
+  Alcotest.(check string) "ctl ack schema" "msched-serve-ctl-1" (schema ack);
+  let s = Transport.wait srv in
+  let summary = recv_exn c in
+  Alcotest.(check string) "connection summary schema" "msched-serve-conn-1"
+    (schema summary);
+  Alcotest.(check (option int)) "connection counted requests" (Some 4)
+    (int_mem "requests" summary);
+  Alcotest.(check (option int)) "connection counted errors" (Some 1)
+    (int_mem "errors" summary);
+  close c;
+  Alcotest.(check bool) "clean drain" true s.Transport.sm_clean;
+  Alcotest.(check int) "all submitted completed" 4
+    s.Transport.sm_counters.Dispatch.c_completed;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock);
+  let sj = Transport.summary_json s in
+  Alcotest.(check string) "server summary schema" "msched-serve-summary-1"
+    (schema sj);
+  Alcotest.(check (option string)) "server summary drain verdict"
+    (Some "clean") (str_mem "drain" sj)
+
+let test_concurrent_clients () =
+  let srv = Transport.start (config ~workers:4 ()) in
+  let text = good_text () in
+  let per_client = 3 and clients = 5 in
+  let errors = Atomic.make 0 in
+  let run_client ci =
+    let c = connect srv in
+    for r = 0 to per_client - 1 do
+      let id = Printf.sprintf "c%d-r%d" ci r in
+      let body = if r = per_client - 1 then broken_text else text in
+      send c
+        (Printf.sprintf {|{"text":%s,"id":%s}|} (Diag.Json.string body)
+           (Diag.Json.string id));
+      let resp = recv_exn c in
+      if str_mem "id" resp <> Some id then Atomic.incr errors;
+      let expect = if r = per_client - 1 then 3 else 0 in
+      if exit_code resp <> expect then Atomic.incr errors
+    done;
+    close c
+  in
+  let threads = List.init clients (Thread.create run_client) in
+  List.iter Thread.join threads;
+  let s = drain_and_wait srv in
+  Alcotest.(check int) "every response matched its request id and class" 0
+    (Atomic.get errors);
+  Alcotest.(check int) "all requests completed" (clients * per_client)
+    s.Transport.sm_counters.Dispatch.c_completed;
+  Alcotest.(check int) "connections counted" clients s.Transport.sm_connections;
+  Alcotest.(check bool) "clean drain" true s.Transport.sm_clean
+
+let test_timeout_and_hung_replacement () =
+  let sink = Sink.create () in
+  let srv =
+    Transport.start ~sink (config ~workers:1 ~grace:0.3 ~inject:true ())
+  in
+  let c = connect srv in
+  (* A hung job with a deadline: E_TIMEOUT (exit 7) comes back promptly
+     even though the worker never returns. *)
+  let t0 = Unix.gettimeofday () in
+  send c {|{"poison":"hang","deadline_s":0.3,"id":"h1"}|};
+  let r = recv_exn c in
+  check_failure ~what:"hung request" ~code:"E_TIMEOUT" ~exit:7 r;
+  Alcotest.(check bool) "timeout honoured promptly" true
+    (Unix.gettimeofday () -. t0 < 5.0);
+  (* After the grace period the monitor writes the hung worker off and
+     spawns a replacement — the single-worker server must serve again. *)
+  Thread.delay 0.6;
+  send c
+    (Printf.sprintf {|{"text":%s,"id":"after"}|}
+       (Diag.Json.string (good_text ())));
+  Alcotest.(check int) "replacement worker serves" 0 (exit_code (recv_exn c));
+  (* A deadline that expires while QUEUED: hold the only worker, then a
+     second client's request cannot start before its deadline. *)
+  send c {|{"poison":"sleep=0.8","id":"s1"}|};
+  let c2 = connect srv in
+  Thread.delay 0.1;
+  send c2
+    (Printf.sprintf {|{"text":%s,"deadline_s":0.2,"id":"q1"}|}
+       (Diag.Json.string (good_text ())));
+  check_failure ~what:"queued past deadline" ~code:"E_TIMEOUT" ~exit:7
+    (recv_exn c2);
+  Alcotest.(check int) "held request still finishes" 0 (exit_code (recv_exn c));
+  close c;
+  close c2;
+  (* Abort releases the genuinely hung worker (it polls the stopping
+     flag); its domain is joined as a zombie. *)
+  Transport.request_shutdown srv `Abort;
+  let s = Transport.wait srv in
+  let cnt = s.Transport.sm_counters in
+  Alcotest.(check bool) "timeouts counted" true (cnt.Dispatch.c_timed_out >= 2);
+  Alcotest.(check bool) "hung worker replaced" true
+    (cnt.Dispatch.c_replaced >= 1);
+  Alcotest.(check bool) "gauge server.timeouts tracks the faults" true
+    (gauge_of sink "server.timeouts" >= 2);
+  Alcotest.(check bool) "gauge server.replaced tracks the hang" true
+    (gauge_of sink "server.replaced" >= 1)
+
+let test_crash_recovery () =
+  let sink = Sink.create () in
+  let srv = Transport.start ~sink (config ~workers:2 ~inject:true ()) in
+  let c = connect srv in
+  send c {|{"poison":"crash","id":"boom"}|};
+  let r = recv_exn c in
+  check_failure ~what:"crashing request" ~code:"E_INTERNAL" ~exit:6 r;
+  Alcotest.(check (option string)) "crash response echoes id" (Some "boom")
+    (str_mem "id" r);
+  (* The dead domain is reaped and replaced; the server keeps serving at
+     full capacity. *)
+  Thread.delay 0.2;
+  send c
+    (Printf.sprintf {|{"text":%s,"id":"after"}|}
+       (Diag.Json.string (good_text ())));
+  Alcotest.(check int) "server survives the crash" 0 (exit_code (recv_exn c));
+  close c;
+  let s = drain_and_wait srv in
+  let cnt = s.Transport.sm_counters in
+  Alcotest.(check int) "crash counted" 1 cnt.Dispatch.c_crashed;
+  Alcotest.(check int) "dead domain reaped" 1 cnt.Dispatch.c_reaped;
+  Alcotest.(check bool) "clean drain after crash" true s.Transport.sm_clean;
+  Alcotest.(check int) "gauge server.crashes sampled" 1
+    (gauge_of sink "server.crashes");
+  Alcotest.(check int) "gauge server.reaped sampled" 1
+    (gauge_of sink "server.reaped");
+  Alcotest.(check bool) "gauge server.connections sampled" true
+    (gauge_of sink "server.connections" >= 1)
+
+let test_overload_shed () =
+  let srv =
+    Transport.start (config ~workers:1 ~queue_max:1 ~inject:true ())
+  in
+  let c1 = connect srv and c2 = connect srv and c3 = connect srv in
+  (* Fill the worker, then the queue, then overflow. *)
+  send c1 {|{"poison":"sleep=0.8","id":"busy"}|};
+  Thread.delay 0.2;
+  send c2 {|{"poison":"sleep=0.1","id":"queued"}|};
+  Thread.delay 0.1;
+  send c3
+    (Printf.sprintf {|{"text":%s,"id":"shed"}|}
+       (Diag.Json.string (good_text ())));
+  let r3 = recv_exn c3 in
+  check_failure ~what:"overflow request" ~code:"E_OVERLOAD" ~exit:8 r3;
+  Alcotest.(check (option string)) "shed response echoes id" (Some "shed")
+    (str_mem "id" r3);
+  (* The two admitted requests still complete. *)
+  Alcotest.(check int) "busy request completes" 0 (exit_code (recv_exn c1));
+  Alcotest.(check int) "queued request completes" 0 (exit_code (recv_exn c2));
+  List.iter close [ c1; c2; c3 ];
+  let s = drain_and_wait srv in
+  Alcotest.(check bool) "shed counted" true
+    (s.Transport.sm_counters.Dispatch.c_rejected >= 1);
+  Alcotest.(check int) "admitted requests completed" 2
+    s.Transport.sm_counters.Dispatch.c_completed
+
+let test_overload_block_deadline () =
+  let srv =
+    Transport.start
+      (config ~workers:1 ~queue_max:1 ~overload:Dispatch.Block ~inject:true ())
+  in
+  let c1 = connect srv and c2 = connect srv and c3 = connect srv in
+  send c1 {|{"poison":"sleep=0.7","id":"busy"}|};
+  Thread.delay 0.2;
+  send c2 {|{"poison":"sleep=0.1","id":"queued"}|};
+  Thread.delay 0.1;
+  (* Block policy: the submitter waits for space, but its deadline expires
+     first — E_TIMEOUT, not E_OVERLOAD. *)
+  send c3
+    (Printf.sprintf {|{"text":%s,"deadline_s":0.15,"id":"blocked"}|}
+       (Diag.Json.string (good_text ())));
+  check_failure ~what:"blocked past deadline" ~code:"E_TIMEOUT" ~exit:7
+    (recv_exn c3);
+  Alcotest.(check int) "busy request completes" 0 (exit_code (recv_exn c1));
+  Alcotest.(check int) "queued request completes" 0 (exit_code (recv_exn c2));
+  List.iter close [ c1; c2; c3 ];
+  ignore (drain_and_wait srv)
+
+let test_malformed_frames () =
+  let srv = Transport.start (config ~max_frame:2048 ()) in
+  let c = connect srv in
+  let check_bad what line code exit =
+    send c line;
+    check_failure ~what ~code ~exit (recv_exn c)
+  in
+  check_bad "unparseable json" "{not json" "E_PARSE" 3;
+  check_bad "unknown op" {|{"op":"bogus"}|} "E_PARSE" 3;
+  check_bad "missing path/text" {|{"nope":1}|} "E_PARSE" 3;
+  check_bad "both path and text" {|{"path":"a","text":"b"}|} "E_PARSE" 3;
+  check_bad "bad poison spec" "poison:frobnicate" "E_PARSE" 3;
+  (* Poison without --inject-faults: refused with its own class. *)
+  check_bad "poison while injection disabled" "poison:crash" "E_UNSUPPORTED" 5;
+  (* Oversized unterminated frame: answered, then the connection is
+     closed on the server's terms. *)
+  send_raw c (String.make 4096 'x');
+  check_failure ~what:"oversized frame" ~code:"E_PARSE" ~exit:3 (recv_exn c);
+  Alcotest.(check (option string)) "connection closed after frame error" None
+    (recv c);
+  close c;
+  (* The server is still healthy for the next client. *)
+  let c2 = connect srv in
+  send c2 (Printf.sprintf {|{"text":%s}|} (Diag.Json.string (good_text ())));
+  Alcotest.(check int) "server survives malformed traffic" 0
+    (exit_code (recv_exn c2));
+  close c2;
+  let s = drain_and_wait srv in
+  Alcotest.(check int) "frame error counted" 1 s.Transport.sm_frame_errors
+
+let test_mid_request_disconnect () =
+  let srv = Transport.start (config ~workers:1 ~inject:true ()) in
+  (* Client vanishes while its request is in flight: the response write
+     hits a dead socket; the server counts a disconnect and moves on. *)
+  let c = connect srv in
+  send c {|{"poison":"sleep=0.4","id":"gone"}|};
+  close c;
+  Thread.delay 0.8;
+  let c2 = connect srv in
+  send c2 (Printf.sprintf {|{"text":%s}|} (Diag.Json.string (good_text ())));
+  Alcotest.(check int) "server unaffected by the disconnect" 0
+    (exit_code (recv_exn c2));
+  close c2;
+  let s = drain_and_wait srv in
+  Alcotest.(check bool) "disconnect counted" true (s.Transport.sm_disconnects >= 1);
+  Alcotest.(check bool) "abandoned-by-client job still completed" true
+    (s.Transport.sm_counters.Dispatch.c_completed >= 2)
+
+let test_drain_zero_lost () =
+  let srv = Transport.start (config ~workers:2 ()) in
+  let text = good_text () in
+  let clients = 4 and per_client = 2 in
+  let completed = Atomic.make 0 and shed = Atomic.make 0 in
+  let lost = Atomic.make 0 in
+  let run_client ci =
+    let c = connect srv in
+    for r = 0 to per_client - 1 do
+      send c
+        (Printf.sprintf {|{"text":%s,"id":"c%d-%d"}|} (Diag.Json.string text)
+           ci r)
+    done;
+    (* All requests are on the wire before the drain hits; every one must
+       be answered — completed, or explicitly shed with E_OVERLOAD. *)
+    for _ = 0 to per_client - 1 do
+      match recv c with
+      | None -> Atomic.incr lost
+      | Some resp -> (
+          match exit_code resp with
+          | 0 -> Atomic.incr completed
+          | 8 -> Atomic.incr shed
+          | e -> Alcotest.failf "unexpected exit class %d during drain" e)
+    done;
+    (* The drain still flushes this connection's summary. *)
+    (match recv c with
+    | Some line ->
+        if schema line <> "msched-serve-conn-1" then Atomic.incr lost
+    | None -> Atomic.incr lost);
+    close c
+  in
+  let threads = List.init clients (Thread.create run_client) in
+  Thread.delay 0.05;
+  let s = drain_and_wait srv in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "zero lost responses" 0 (Atomic.get lost);
+  Alcotest.(check int) "every request answered" (clients * per_client)
+    (Atomic.get completed + Atomic.get shed);
+  Alcotest.(check int) "server accounting matches the wire"
+    (clients * per_client)
+    (s.Transport.sm_counters.Dispatch.c_completed
+    + s.Transport.sm_counters.Dispatch.c_rejected);
+  Alcotest.(check bool) "clean drain" true s.Transport.sm_clean
+
+let test_abort_during_drain () =
+  let srv = Transport.start (config ~workers:1 ~inject:true ()) in
+  let c = connect srv in
+  (* A hung job with no deadline would hold a graceful drain open
+     forever; escalating to abort must unstick it and still answer the
+     client. *)
+  send c {|{"poison":"hang","id":"stuck"}|};
+  Thread.delay 0.2;
+  Transport.request_shutdown srv `Drain;
+  let waiter = Thread.create Transport.wait srv in
+  Thread.delay 0.3;
+  Transport.request_shutdown srv `Abort;
+  (* The cooperative hang exits on the stopping flag and the request is
+     answered (a compiled record or a structured failure — never
+     silence). *)
+  let r = recv_exn c in
+  Alcotest.(check string) "stuck request answered" "msched-batch-1" (schema r);
+  close c;
+  Thread.join waiter
+
+let test_cache_gc_under_serve () =
+  let dir = fresh_dir () in
+  let srv =
+    Transport.start
+      (config ~workers:2 ~cache_dir:dir ~cache_max_bytes:512 ~gc_interval:0.2 ())
+  in
+  let c = connect srv in
+  (* Distinct designs, each persisting a warm-route entry; the janitor
+     must keep the directory under the cap while the server runs. *)
+  for seed = 910 to 917 do
+    send c
+      (Printf.sprintf {|{"text":%s}|} (Diag.Json.string (good_text ~seed ())));
+    Alcotest.(check int)
+      (Printf.sprintf "design %d compiles" seed)
+      0
+      (exit_code (recv_exn c))
+  done;
+  Thread.delay 0.5;
+  close c;
+  let s = drain_and_wait srv in
+  Alcotest.(check bool) "janitor evicted old entries" true
+    (s.Transport.sm_evictions > 0);
+  let stats = Cache.stats ~dir in
+  Alcotest.(check bool)
+    (Printf.sprintf "cache within cap after shutdown (%d bytes)"
+       stats.Cache.st_bytes)
+    true
+    (stats.Cache.st_bytes <= 512)
+
+let suite =
+  [
+    Alcotest.test_case "serve: round-trip over a unix socket" `Quick
+      test_roundtrip_unix;
+    Alcotest.test_case "serve: concurrent clients over tcp" `Slow
+      test_concurrent_clients;
+    Alcotest.test_case "serve: deadlines + hung-worker replacement" `Quick
+      test_timeout_and_hung_replacement;
+    Alcotest.test_case "serve: worker crash is reaped and replaced" `Quick
+      test_crash_recovery;
+    Alcotest.test_case "serve: full queue sheds with E_OVERLOAD" `Quick
+      test_overload_shed;
+    Alcotest.test_case "serve: block policy still honours deadlines" `Quick
+      test_overload_block_deadline;
+    Alcotest.test_case "serve: malformed and oversized frames" `Quick
+      test_malformed_frames;
+    Alcotest.test_case "serve: mid-request client disconnect" `Quick
+      test_mid_request_disconnect;
+    Alcotest.test_case "serve: drain loses zero in-flight responses" `Quick
+      test_drain_zero_lost;
+    Alcotest.test_case "serve: abort escalation unsticks a hung drain" `Quick
+      test_abort_during_drain;
+    Alcotest.test_case "serve: cache LRU gc under live traffic" `Quick
+      test_cache_gc_under_serve;
+  ]

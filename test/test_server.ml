@@ -64,6 +64,36 @@ let test_pool_propagates_exceptions () =
   | _ -> Alcotest.fail "expected the worker exception to re-raise"
   | exception Failure m -> Alcotest.(check string) "exception carried" "boom" m
 
+let test_pool_first_exception_wins () =
+  (* Several tasks fail; the caller must always see the exception of the
+     LOWEST task index, independent of which domain ran it or which domain
+     joined first — and with the worker's backtrace, not the join site's.
+     Repeat to stress scheduling interleavings. *)
+  Printexc.record_backtrace true;
+  let tasks = Array.init 32 (fun i -> i) in
+  for round = 0 to 19 do
+    match
+      Pool.map ~jobs:4
+        (fun i ->
+          (* Backtrace recording is per-domain in OCaml 5: enable it in the
+             worker so the pool captures a non-empty trace to re-install. *)
+          Printexc.record_backtrace true;
+          if i mod 7 = 3 then failwith (Printf.sprintf "task-%d" i) else i)
+        tasks
+    with
+    | _ -> Alcotest.fail "expected a worker exception"
+    | exception Failure m ->
+        (* Read the backtrace before any other call can clobber the
+           per-domain buffer. *)
+        let bt = String.trim (Printexc.get_backtrace ()) in
+        Alcotest.(check string)
+          (Printf.sprintf "round %d: first failing task (index 3) wins" round)
+          "task-3" m;
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d: worker backtrace preserved" round)
+          true (bt <> "")
+  done
+
 (* ---- Determinism: jobs=4 byte-identical to jobs=1 over >= 30 designs. ---- *)
 
 let corpus () =
@@ -270,6 +300,93 @@ let test_cache_spans_processes_effort () =
   Alcotest.(check bool) "disk-warm run replays the ledger" true
     ((resilient warm).Compile.degradation.Compile.reused_transports > 0)
 
+let test_cache_truncation_sweep () =
+  (* Exhaustive torn-write simulation: for EVERY strict prefix of a small
+     entry, a load must degrade (Corrupt, with the E_CACHE warning) — never
+     accept the prefix as a Hit, never raise.  The fsync-before-rename in
+     [store] is what keeps real crashes from publishing such prefixes; this
+     sweep proves the reader is safe even if one appears. *)
+  let dir = fresh_dir () in
+  let key = Cache.hash_hex "truncation-sweep" in
+  let whole = Reroute.to_json_string (Reroute.create ()) in
+  let path = Cache.file ~dir ~key in
+  for len = 0 to String.length whole - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub whole 0 len);
+    close_out oc;
+    match Cache.load ~dir ~key with
+    | Cache.Corrupt d ->
+        Alcotest.(check string)
+          (Printf.sprintf "prefix %d/%d carries E_CACHE" len
+             (String.length whole))
+          "E_CACHE"
+          (Diag.code_name d.Diag.code)
+    | Cache.Hit _ ->
+        Alcotest.failf "truncated prefix %d/%d accepted as a hit" len
+          (String.length whole)
+    | Cache.Miss ->
+        Alcotest.failf "truncated prefix %d/%d invisible" len
+          (String.length whole)
+  done;
+  (* The full document (as [store] writes it) still loads. *)
+  (match Cache.store ~dir ~key (Reroute.create ()) with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "store failed: %s" d.Diag.message);
+  match Cache.load ~dir ~key with
+  | Cache.Hit _ -> ()
+  | _ -> Alcotest.fail "full entry no longer loads"
+
+let test_cache_stats_and_gc () =
+  let dir = fresh_dir () in
+  let ctx = Reroute.create () in
+  let keys = List.map Cache.hash_hex [ "gc-a"; "gc-b"; "gc-c" ] in
+  List.iter
+    (fun key ->
+      match Cache.store ~dir ~key ctx with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "store failed: %s" d.Diag.message)
+    keys;
+  let k1, k2, k3 =
+    match keys with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  let size = (Unix.stat (Cache.file ~dir ~key:k1)).Unix.st_size in
+  let stats = Cache.stats ~dir in
+  Alcotest.(check int) "stats counts entries" 3 stats.Cache.st_entries;
+  Alcotest.(check int) "stats sums bytes" (3 * size) stats.Cache.st_bytes;
+  (* Age the entries: k1 oldest, then k2, then k3. *)
+  let now = Unix.gettimeofday () in
+  let age key secs =
+    let p = Cache.file ~dir ~key in
+    Unix.utimes p (now -. secs) (now -. secs)
+  in
+  age k1 300.0;
+  age k2 200.0;
+  age k3 100.0;
+  (* A load refreshes k1's mtime — it is now the MOST recently used, so a
+     gc to two entries must evict k2 (the oldest remaining), proving that
+     entries in active use survive the cap. *)
+  (match Cache.load ~dir ~key:k1 with
+  | Cache.Hit _ -> ()
+  | _ -> Alcotest.fail "expected a hit on k1");
+  let r = Cache.gc ~dir ~max_bytes:(2 * size) in
+  Alcotest.(check int) "gc scanned all entries" 3 r.Cache.gc_scanned;
+  Alcotest.(check int) "gc evicted exactly one" 1 r.Cache.gc_evicted;
+  Alcotest.(check int) "gc bytes settle at the cap" (2 * size)
+    r.Cache.gc_bytes_after;
+  Alcotest.(check bool) "recently-loaded k1 survives" true
+    (Sys.file_exists (Cache.file ~dir ~key:k1));
+  Alcotest.(check bool) "LRU k2 evicted" false
+    (Sys.file_exists (Cache.file ~dir ~key:k2));
+  Alcotest.(check bool) "newer k3 survives" true
+    (Sys.file_exists (Cache.file ~dir ~key:k3));
+  (* Idempotent under the cap; cap 0 clears everything but the lock. *)
+  let r2 = Cache.gc ~dir ~max_bytes:(2 * size) in
+  Alcotest.(check int) "gc under cap evicts nothing" 0 r2.Cache.gc_evicted;
+  let r3 = Cache.gc ~dir ~max_bytes:0 in
+  Alcotest.(check int) "cap 0 clears the cache" 2 r3.Cache.gc_evicted;
+  Alcotest.(check int) "cache empty after cap 0"
+    0 (Cache.stats ~dir).Cache.st_entries
+
 (* ---- Manifest sources. ---- *)
 
 let test_manifest_sources () =
@@ -316,6 +433,52 @@ let test_manifest_sources () =
           Alcotest.(check string) "manifest errors are E_PARSE" "E_PARSE"
             (Diag.code_name d.Diag.code))
         diags
+
+let test_manifest_crlf_and_no_final_newline () =
+  (* NDJSON manifests written on Windows (CRLF) or by tools that do not
+     terminate the last line must parse identically to the canonical
+     form.  [String.trim] strips the [\r] before both the comment check
+     and the JSON parse; [input_line] yields the unterminated last line. *)
+  let dir = fresh_dir () in
+  let manifest = Filename.concat dir "jobs-crlf.txt" in
+  let oc = open_out_bin manifest in
+  (* CRLF throughout, comment and blank lines included, and NO newline
+     after the final entry. *)
+  output_string oc
+    "# comment\r\na.mnl\r\n\r\n{\"path\":\"sub/c.mnl\"}\r\nlast.mnl";
+  close_out oc;
+  (match Manifest.load manifest with
+  | Error diags ->
+      Alcotest.failf "CRLF manifest rejected: %d diagnostics"
+        (List.length diags)
+  | Ok entries ->
+      Alcotest.(check (list string))
+        "CRLF + missing final newline parse to clean resolved paths"
+        [
+          Filename.concat dir "a.mnl";
+          Filename.concat dir "sub/c.mnl";
+          Filename.concat dir "last.mnl";
+        ]
+        (List.map (fun e -> e.Manifest.e_path) entries);
+      (* No stray [\r] may survive into any resolved path. *)
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "path free of carriage returns" false
+            (String.contains e.Manifest.e_path '\r'))
+        entries);
+  (* A JSON line whose closing brace is followed only by [\r] must not
+     trip the strict parser. *)
+  let manifest2 = Filename.concat dir "jobs-crlf2.txt" in
+  let oc = open_out_bin manifest2 in
+  output_string oc "{\"path\":\"x.mnl\"}\r";
+  close_out oc;
+  match Manifest.load manifest2 with
+  | Ok [ e ] ->
+      Alcotest.(check string) "lone CR-terminated JSON line parses"
+        (Filename.concat dir "x.mnl")
+        e.Manifest.e_path
+  | Ok _ -> Alcotest.fail "wrong entry count"
+  | Error _ -> Alcotest.fail "CR-terminated JSON line rejected"
 
 (* ---- Exit classes surface per job. ---- *)
 
@@ -384,6 +547,8 @@ let suite =
       test_pool_deterministic_map;
     Alcotest.test_case "pool: worker exceptions re-raise" `Quick
       test_pool_propagates_exceptions;
+    Alcotest.test_case "pool: first failing task wins, backtrace kept" `Quick
+      test_pool_first_exception_wins;
     Alcotest.test_case "batch: jobs=4 byte-identical to jobs=1 (33 designs)"
       `Slow test_batch_determinism;
     Alcotest.test_case "reroute cache: serialize/deserialize round-trip"
@@ -394,8 +559,14 @@ let suite =
       test_corrupt_cache_degrades_cold;
     Alcotest.test_case "reroute cache: warm spans processes, less search"
       `Quick test_cache_spans_processes_effort;
+    Alcotest.test_case "cache: truncated-at-every-byte sweep" `Quick
+      test_cache_truncation_sweep;
+    Alcotest.test_case "cache: stats and LRU gc respect active use" `Quick
+      test_cache_stats_and_gc;
     Alcotest.test_case "manifest: dir scan and file entries" `Quick
       test_manifest_sources;
+    Alcotest.test_case "manifest: CRLF and missing final newline" `Quick
+      test_manifest_crlf_and_no_final_newline;
     Alcotest.test_case "batch: per-job exit classes" `Quick
       test_batch_exit_classes;
     Alcotest.test_case "batch: mixed GALS corpus at jobs=2" `Slow
