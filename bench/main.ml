@@ -392,12 +392,60 @@ let workloads_doc () =
           (fun banks -> Printf.sprintf "fabric:banks=%d,domains=4" banks)
           [ 4; 8; 16 ]))
 
+(* Intra-compile parallelism (--compile-jobs): prepare and route wall at
+   jobs 1/2/4 on one large dense-crossing design.  Only the equality
+   classes are gate-worthy — byte-identical schedules, identical
+   placements, stable length/speed; the wall times are recorded for
+   eyeballing, never asserted (a 1-core CI runner cannot show parallel
+   gain, and shared-runner clocks are noise). *)
+let par_doc () =
+  let spec = "dense:domains=16,density=0.8" in
+  let nl =
+    (Design_gen.dense_crossing ~seed:11 ~domains:16 ~density:0.8 ())
+      .Design_gen.netlist
+  in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let prepared =
+      Msched.Compile.prepare
+        ~options:{ options with Msched.Compile.compile_jobs = jobs }
+        nl
+    in
+    let t1 = Unix.gettimeofday () in
+    let sched = Msched.Compile.route ~jobs prepared Tiers.default_options in
+    let t2 = Unix.gettimeofday () in
+    (prepared, sched, t1 -. t0, t2 -. t1)
+  in
+  let p1, s1, prep1, route1 = run 1 in
+  let p2, s2, prep2, route2 = run 2 in
+  let p4, s4, prep4, route4 = run 4 in
+  let module Placement = Msched_place.Placement in
+  let assignment p =
+    let placement = p.Msched.Compile.placement in
+    List.init
+      (Msched_partition.Partition.num_blocks (Placement.partition placement))
+      (fun b ->
+        Msched_netlist.Ids.Fpga.to_int
+          (Placement.fpga_of_block placement (Msched_netlist.Ids.Block.of_int b)))
+  in
+  let sjson s = Msched_route.Schedule.to_json_string s in
+  Printf.sprintf
+    "{\"design\":%s,\"cores\":%d,\"prepare_wall_s\":{\"jobs1\":%.6f,\"jobs2\":%.6f,\"jobs4\":%.6f},\"route_wall_s\":{\"jobs1\":%.6f,\"jobs2\":%.6f,\"jobs4\":%.6f},\"schedule_identical_1v2\":%b,\"schedule_identical_1v4\":%b,\"placement_identical\":%b,\"schedule_length\":%d,\"est_speed_hz\":%.1f}"
+    (Msched_diag.Diag.Json.string spec)
+    (Domain.recommended_domain_count ())
+    prep1 prep2 prep4 route1 route2 route4
+    (sjson s1 = sjson s2)
+    (sjson s1 = sjson s4)
+    (assignment p1 = assignment p2 && assignment p1 = assignment p4)
+    s1.Msched_route.Schedule.length
+    (Msched_route.Schedule.est_speed_hz s1)
+
 let write_pipeline_json path =
   let doc =
     Printf.sprintf
-      "{\"schema\":\"msched-bench-pipeline-5\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s,\"serve\":%s,\"workloads\":%s}\n"
+      "{\"schema\":\"msched-bench-pipeline-6\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s,\"serve\":%s,\"workloads\":%s,\"par\":%s}\n"
       (pipeline_doc design1) (pipeline_doc design2) (driver_doc ())
-      (batch_doc ()) (serve_doc ()) (workloads_doc ())
+      (batch_doc ()) (serve_doc ()) (workloads_doc ()) (par_doc ())
   in
   let oc = open_out path in
   output_string oc doc;

@@ -133,13 +133,23 @@ let protect f =
   | (Failure _ | Invalid_argument _ | Not_found) as e ->
       fail (Diag.error Diag.E_INTERNAL "%s" (Printexc.to_string e))
 
-let options_of ?(obs = Sink.null) pins weight =
+let options_of ?(obs = Sink.null) ?(compile_jobs = 1) pins weight =
   {
     Msched.Compile.default_options with
     Msched.Compile.pins_per_fpga = pins;
     max_block_weight = weight;
     obs;
+    compile_jobs;
   }
+
+(* Process-level worker knobs ([batch --jobs], [serve --workers]) multiply
+   with [--compile-jobs]; refuse products that oversubscribe the machine. *)
+let enforce_jobs_budget ~jobs ~compile_jobs =
+  match Msched.Compile.check_jobs_budget ~jobs ~compile_jobs () with
+  | Ok () -> ()
+  | Error d ->
+      Format.eprintf "%a@." Diag.pp d;
+      exit (Diag.exit_code d.Diag.code)
 
 let write_out path contents =
   if path = "-" then print_string contents
@@ -186,7 +196,7 @@ let pp_compiled ppf pins (c : Msched.Compile.compiled) =
     (Schedule.mean_transport_latency sched)
 
 let compile_cmd path pins weight mode forward retries fallback_hard cold
-    max_extra trace diag_json =
+    max_extra compile_jobs trace diag_json =
   protect @@ fun () ->
   let nl = netlist_of_design_arg path in
   let obs = sink_of_trace trace in
@@ -206,7 +216,9 @@ let compile_cmd path pins weight mode forward retries fallback_hard cold
     (* The forward scheduler has no retry ladder; it stays on the fail-fast
        path (under [protect], so failures still exit with their class). *)
     let prepared =
-      Msched.Compile.prepare ~options:(options_of ~obs pins weight) nl
+      Msched.Compile.prepare
+        ~options:(options_of ~obs ~compile_jobs pins weight)
+        nl
     in
     let sched = Msched.Compile.route_forward ~obs prepared ropts in
     pp_compiled ppf pins
@@ -214,7 +226,12 @@ let compile_cmd path pins weight mode forward retries fallback_hard cold
     write_trace trace obs
   end
   else begin
-    let options = { (options_of ~obs pins weight) with Msched.Compile.route = ropts } in
+    let options =
+      {
+        (options_of ~obs ~compile_jobs pins weight) with
+        Msched.Compile.route = ropts;
+      }
+    in
     let r =
       Msched.Compile.compile_resilient ~options ~max_retries:retries
         ~fallback_hard ~reuse:(not cold) nl
@@ -470,7 +487,7 @@ let vcd_cmd path horizon seed =
 (* ---- Batch server front end (see docs/SERVER.md). ---- *)
 
 let server_settings pins weight mode retries fallback_hard cold max_extra
-    cache_dir obs_jobs =
+    compile_jobs cache_dir obs_jobs =
   let ropts = route_options_of mode in
   let ropts =
     match max_extra with
@@ -479,7 +496,10 @@ let server_settings pins weight mode retries fallback_hard cold max_extra
   in
   {
     Server.s_options =
-      { (options_of pins weight) with Msched.Compile.route = ropts };
+      {
+        (options_of ~compile_jobs pins weight) with
+        Msched.Compile.route = ropts;
+      };
     s_max_retries = retries;
     s_fallback_hard = fallback_hard;
     s_reuse = not cold;
@@ -488,11 +508,12 @@ let server_settings pins weight mode retries fallback_hard cold max_extra
   }
 
 let batch_cmd source jobs cache_dir out pins weight mode retries fallback_hard
-    cold max_extra trace json =
+    cold max_extra compile_jobs trace json =
   protect @@ fun () ->
+  enforce_jobs_budget ~jobs ~compile_jobs;
   let settings =
     server_settings pins weight mode retries fallback_hard cold max_extra
-      cache_dir
+      compile_jobs cache_dir
       (trace <> None || json <> None)
   in
   match Manifest.load source with
@@ -528,11 +549,12 @@ let batch_cmd source jobs cache_dir out pins weight mode retries fallback_hard
 
 let serve_cmd use_stdin socket tcp workers queue_max overload deadline grace
     cache_max_bytes inject cache_dir pins weight mode retries fallback_hard
-    cold max_extra =
+    cold max_extra compile_jobs =
   protect @@ fun () ->
+  enforce_jobs_budget ~jobs:workers ~compile_jobs;
   let settings =
     server_settings pins weight mode retries fallback_hard cold max_extra
-      cache_dir false
+      compile_jobs cache_dir false
   in
   let address =
     match (socket, tcp) with
@@ -682,6 +704,15 @@ let max_extra_arg =
     & opt (some int) None
     & info [ "max-extra" ] ~docv:"N"
         ~doc:"Congestion slack budget per transport (overrides the mode default)")
+
+let compile_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "compile-jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains inside one compile (parallel TIERS reverse pass \
+           and placement annealer); the schedule is byte-identical for any \
+           N, and the product with --jobs/--workers must fit the machine")
 
 let diag_json_arg =
   Arg.(
@@ -884,7 +915,7 @@ let cmds =
       Term.(
         const compile_cmd $ design_arg $ pins_arg $ weight_arg $ mode_arg
         $ forward_arg $ retries_arg $ fallback_hard_arg $ cold_arg
-        $ max_extra_arg $ trace_arg $ diag_json_arg);
+        $ max_extra_arg $ compile_jobs_arg $ trace_arg $ diag_json_arg);
     Cmd.v
       (Cmd.info "lint"
          ~doc:
@@ -936,7 +967,7 @@ let cmds =
       Term.(
         const batch_cmd $ source_arg $ jobs_arg $ cache_dir_arg $ out_arg
         $ pins_arg $ weight_arg $ mode_arg $ retries_arg $ fallback_hard_arg
-        $ cold_arg $ max_extra_arg $ trace_arg $ json_arg);
+        $ cold_arg $ max_extra_arg $ compile_jobs_arg $ trace_arg $ json_arg);
     Cmd.v
       (Cmd.info "serve"
          ~doc:
@@ -950,7 +981,7 @@ let cmds =
         $ queue_max_arg $ overload_arg $ deadline_arg $ grace_arg
         $ cache_max_bytes_arg $ inject_faults_arg $ cache_dir_arg $ pins_arg
         $ weight_arg $ mode_arg $ retries_arg $ fallback_hard_arg $ cold_arg
-        $ max_extra_arg);
+        $ max_extra_arg $ compile_jobs_arg);
     cache_cmd;
   ]
 

@@ -25,6 +25,12 @@ type options = {
       (** Observability sink.  {!Msched_obs.Sink.null} (the default) makes
           every probe a no-op; an enabled sink records a span per pipeline
           phase plus the counters catalogued in [docs/OBSERVABILITY.md]. *)
+  compile_jobs : int;
+      (** Intra-compile parallel width (default 1): worker domains for the
+          TIERS reverse pass and the placement annealer.  The compiled
+          schedule, placement and pipeline metrics are bit-identical for
+          every value — parallelism is a pure wall-clock knob — and
+          [compile_jobs <= 1] never spawns a domain. *)
 }
 
 val default_options : options
@@ -63,12 +69,15 @@ val prepare : ?options:options -> Netlist.t -> prepared
 val route :
   ?obs:Msched_obs.Sink.t ->
   ?reroute:Msched_route.Reroute.t ->
+  ?jobs:int ->
   prepared ->
   Msched_route.Tiers.options ->
   Msched_route.Schedule.t
 (** Reverse (TIERS) scheduling.  With a [reroute] context the attempt runs
     warm (ledger replay, congestion-history steering, deferred residue
-    collection) — see {!Msched_route.Tiers.schedule}. *)
+    collection) — see {!Msched_route.Tiers.schedule}.  [jobs] is the
+    parallel width of the reverse pass (default 1; bit-identical results
+    for every value). *)
 
 val route_forward :
   ?obs:Msched_obs.Sink.t ->
@@ -99,6 +108,19 @@ val compile :
   Netlist.t ->
   compiled
 (** [prepare] followed by {!compile_prepared}. *)
+
+val check_jobs_budget :
+  ?recommended:int ->
+  jobs:int ->
+  compile_jobs:int ->
+  unit ->
+  (unit, Msched_diag.Diag.t) result
+(** Validate the product of the two parallelism knobs (process-level
+    [jobs]/[workers] × [compile_jobs]) against the machine's core count
+    ([recommended] defaults to [Domain.recommended_domain_count ()];
+    injectable for tests).  [Error] (an [E_PARSE] diagnostic naming both
+    knobs) only when {e both} knobs exceed 1 and their product exceeds the
+    budget — either knob alone is an explicit user tradeoff and passes. *)
 
 val diag_of_exn : exn -> Msched_diag.Diag.t
 (** Map any pipeline exception onto its structured diagnostic

@@ -79,7 +79,7 @@ let extract text =
   | Error at -> Error (parse_error "baseline is not valid JSON (%s)" at)
   | Ok doc -> (
       match Option.bind (J.mem "schema" doc) J.str with
-      | Some "msched-bench-pipeline-5" ->
+      | Some "msched-bench-pipeline-6" ->
           let acc = [] in
           let acc =
             match J.mem "designs" doc with
@@ -161,6 +161,38 @@ let extract text =
                   acc families
             | _ -> acc
           in
+          let acc =
+            (* Parallel-compile section: only its equality classes are
+               gated (identical schedules/placements across widths, stable
+               length/speed) — the recorded wall times are informational,
+               never compared (1-core runners cannot show parallel gain). *)
+            match J.mem "par" doc with
+            | Some par ->
+                let bool_metric field acc =
+                  match J.mem field par with
+                  | Some (J.Bool b) ->
+                      {
+                        m_path = "par." ^ field;
+                        m_kind = Bool;
+                        m_value = (if b then 1.0 else 0.0);
+                      }
+                      :: acc
+                  | _ -> acc
+                in
+                let num_metric field kind acc =
+                  match Option.bind (J.mem field par) J.num with
+                  | Some f ->
+                      { m_path = "par." ^ field; m_kind = kind; m_value = f }
+                      :: acc
+                  | None -> acc
+                in
+                bool_metric "schedule_identical_1v2" acc
+                |> bool_metric "schedule_identical_1v4"
+                |> bool_metric "placement_identical"
+                |> num_metric "schedule_length" Length
+                |> num_metric "est_speed_hz" Speed
+            | None -> acc
+          in
           Ok
             (List.sort
                (fun a b -> compare a.m_path b.m_path)
@@ -168,7 +200,7 @@ let extract text =
       | Some other ->
           Error
             (parse_error
-               "baseline schema is %S, expected \"msched-bench-pipeline-5\""
+               "baseline schema is %S, expected \"msched-bench-pipeline-6\""
                other)
       | None -> Error (parse_error "baseline document has no schema field"))
 

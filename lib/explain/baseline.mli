@@ -1,4 +1,4 @@
-(** Bench regression gate: diff a fresh [msched-bench-pipeline-5] document
+(** Bench regression gate: diff a fresh [msched-bench-pipeline-6] document
     (what [bench/main.exe] just produced) against a committed baseline
     ([BENCH_pipeline.json]) with per-metric-class tolerances.
 
@@ -17,8 +17,10 @@
       regresses.
     - {b Speed} — estimated emulation speeds.  Deterministic: any decrease
       regresses.
-    - {b Bool} — verifier cleanliness ([workloads.*.*.verifier_clean]).
-      [true] in the baseline must stay [true].
+    - {b Bool} — verifier cleanliness ([workloads.*.*.verifier_clean]) and
+      the parallel-compile equality classes ([par.schedule_identical_1v2],
+      [par.schedule_identical_1v4], [par.placement_identical]).  [true] in
+      the baseline must stay [true].
 
     A metric present in the baseline but missing from the fresh run is a
     regression (coverage must not silently shrink); a metric only present
@@ -32,7 +34,7 @@ val kind_name : kind -> string
 type metric = { m_path : string; m_kind : kind; m_value : float }
 
 val extract : string -> (metric list, Msched_diag.Diag.t) result
-(** Flatten a [msched-bench-pipeline-5] JSON document into classified
+(** Flatten a [msched-bench-pipeline-6] JSON document into classified
     metrics.  [Error] ([E_PARSE]) when the text is not valid JSON or not
     the expected schema. *)
 

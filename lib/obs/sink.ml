@@ -153,6 +153,97 @@ let observe t name v =
         h.h_kept <- h.h_kept + 1
       end
 
+let fork = function
+  | Null -> Null
+  | Enabled s ->
+      Enabled
+        {
+          clock = s.clock;
+          t0 = s.t0;
+          next_id = 0;
+          stack = [];
+          done_spans = [];
+          counters = Hashtbl.create 16;
+          gauges = Hashtbl.create 8;
+          hists = Hashtbl.create 8;
+        }
+
+let merge parent child =
+  match (parent, child) with
+  | Null, _ | _, Null -> ()
+  | Enabled p, Enabled c ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt p.counters name with
+          | Some pr -> pr := !pr + !r
+          | None -> Hashtbl.replace p.counters name (ref !r))
+        c.counters;
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt p.gauges name with
+          | Some pr -> pr := !r
+          | None -> Hashtbl.replace p.gauges name (ref !r))
+        c.gauges;
+      Hashtbl.iter
+        (fun name h ->
+          let ph =
+            match Hashtbl.find_opt p.hists name with
+            | Some ph -> ph
+            | None ->
+                let ph =
+                  {
+                    h_count = 0;
+                    h_sum = 0;
+                    h_min = max_int;
+                    h_max = min_int;
+                    h_values = [];
+                    h_kept = 0;
+                  }
+                in
+                Hashtbl.replace p.hists name ph;
+                ph
+          in
+          ph.h_count <- ph.h_count + h.h_count;
+          ph.h_sum <- ph.h_sum + h.h_sum;
+          if h.h_count > 0 then begin
+            if h.h_min < ph.h_min then ph.h_min <- h.h_min;
+            if h.h_max > ph.h_max then ph.h_max <- h.h_max
+          end;
+          List.iter
+            (fun v ->
+              if ph.h_kept < hist_cap then begin
+                ph.h_values <- v :: ph.h_values;
+                ph.h_kept <- ph.h_kept + 1
+              end)
+            (List.rev h.h_values))
+        c.hists;
+      (* Completed child spans graft under the parent's innermost open
+         span, with ids renumbered past the parent's. *)
+      if c.done_spans <> [] then begin
+        let base = p.next_id in
+        let graft_parent, graft_depth =
+          match p.stack with
+          | [] -> (None, 0)
+          | os :: rest -> (Some os.os_id, 1 + List.length rest)
+        in
+        let reparented =
+          List.map
+            (fun sp ->
+              {
+                sp with
+                sp_id = base + sp.sp_id;
+                sp_parent =
+                  (match sp.sp_parent with
+                  | Some pid -> Some (base + pid)
+                  | None -> graft_parent);
+                sp_depth = sp.sp_depth + graft_depth;
+              })
+            c.done_spans
+        in
+        p.done_spans <- reparented @ p.done_spans;
+        p.next_id <- base + c.next_id
+      end
+
 let spans = function
   | Null -> []
   | Enabled s ->

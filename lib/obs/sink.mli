@@ -74,6 +74,29 @@ val gauge : t -> string -> float -> unit
 val observe : t -> string -> int -> unit
 (** Record one observation into a histogram. *)
 
+(** {2 Worker sub-sinks}
+
+    A sink is single-domain mutable state, so parallel pipeline phases
+    must not record into a shared sink concurrently.  Instead each worker
+    records into a private {!fork} of the phase sink and the coordinator
+    folds the children back with {!merge} after the join, in a
+    deterministic (worker-index) order.  Counters and histogram totals
+    are sums, so the merged metrics are exactly what a sequential run
+    would have recorded; merged spans share the parent's epoch and graft
+    under the span open at merge time. *)
+
+val fork : t -> t
+(** A fresh, empty child sink sharing the parent's clock and epoch
+    (timestamps comparable after {!merge}); {!null} when the parent is
+    disabled.  The child must be used from a single domain. *)
+
+val merge : t -> t -> unit
+(** [merge parent child] folds the child's counters (added), gauges
+    (overwritten), histograms (concatenated) and completed spans
+    (renumbered, grafted under the parent's innermost open span) into the
+    parent.  Call after the worker owning the child has joined; the child
+    should not be used afterwards. *)
+
 (** {2 Introspection (used by {!Export} and tests)} *)
 
 val spans : t -> span list

@@ -127,8 +127,51 @@ let constructive part sys conns pinned =
     order;
   fpga_of_block
 
+(* ---- Annealing RNG: counter mode. ----
+
+   Every random draw of the annealer is a pure function of (seed, nb, nf,
+   draw index) — splitmix64 applied to a per-placement base plus the draw
+   counter — so the move stream does not depend on execution order or on
+   how many draws a rejected move consumed.  This is what lets the
+   parallel annealer evaluate moves speculatively out of order and still
+   commit the exact sequential trajectory. *)
+
+let sm64_gamma = 0x9E3779B97F4A7C15L
+
+let splitmix64 z =
+  let open Int64 in
+  let z = add z sm64_gamma in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let draw_base ~seed ~nb ~nf =
+  let s = splitmix64 (Int64.of_int seed) in
+  let s = splitmix64 (Int64.add s (Int64.of_int nb)) in
+  splitmix64 (Int64.add s (Int64.of_int nf))
+
+let draw base i =
+  splitmix64 (Int64.add base (Int64.mul (Int64.of_int i) sm64_gamma))
+
+let draw_int base i n =
+  Int64.to_int (Int64.shift_right_logical (draw base i) 33) mod n
+
+let draw_unit base i =
+  Int64.to_float (Int64.shift_right_logical (draw base i) 11) *. 0x1p-53
+
+(* Speculative evaluation of one annealing move (parallel path): the swap
+   candidate and its cost delta against the state the evaluation read. *)
+type move_spec =
+  | Ms_skip  (* guard rejected the move; no state read beyond block_at *)
+  | Ms_eval of { ms_b1 : int; ms_b2 : int; ms_delta : int }
+
+(* Parallel batch width: fixed (not scaled by [jobs]) so batch boundaries
+   are identical for every parallel width. *)
+let anneal_batch = 128
+
 let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = [])
-    ?(obs = Msched_obs.Sink.null) () =
+    ?(obs = Msched_obs.Sink.null) ?(jobs = 1) () =
+  let module Sink = Msched_obs.Sink in
   let nb = Partition.num_blocks part in
   let nf = System.num_fpgas sys in
   if nb > nf then
@@ -146,7 +189,6 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = [])
   let conns = connections part in
   let fpga_of_block = constructive part sys conns pinned_arr in
   if effort > 0 && nb > 1 then begin
-    let rng = Random.State.make [| seed; nb; nf |] in
     let topo = System.topology sys in
     let adj = Array.make nb [] in
     List.iter
@@ -156,9 +198,12 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = [])
       conns;
     let block_at = Array.make nf (-1) in
     Array.iteri (fun b f -> block_at.(f) <- b) fpga_of_block;
-    (* Incremental cost of all connections incident to block [b], excluding
-       those to [other] (counted once by the caller). *)
-    let local_cost b other =
+    let base = draw_base ~seed ~nb ~nf in
+    (* Cost of all connections incident to [b] as if it sat at [at],
+       excluding those to [other] (counted once by the caller); reads only
+       the positions of [b]'s other neighbors, so a swap's delta can be
+       computed without mutating the placement. *)
+    let placed_cost b other ~at =
       if b < 0 then 0
       else
         List.fold_left
@@ -167,19 +212,32 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = [])
             else
               acc
               + w
-                * Topology.distance topo
-                    (Ids.Fpga.of_int fpga_of_block.(b))
+                * Topology.distance topo (Ids.Fpga.of_int at)
                     (Ids.Fpga.of_int fpga_of_block.(nb')))
           0 adj.(b)
     in
+    let movable b = b < 0 || pinned_arr.(b) < 0 in
     let cost = ref (cost_of sys conns fpga_of_block) in
     let moves = effort * 200 * nb in
     let tried = ref 0 in
     let accepted = ref 0 in
     let temp0 = 1.0 +. (float_of_int !cost /. float_of_int (max 1 nb)) in
-    for m = 0 to moves - 1 do
-      let f1 = Random.State.int rng nf and f2 = Random.State.int rng nf in
-      let movable b = b < 0 || pinned_arr.(b) < 0 in
+    let temp m =
+      temp0 *. (1.0 -. (float_of_int m /. float_of_int moves)) +. 1e-3
+    in
+    (* Best-so-far snapshot: annealing may end on an uphill excursion; the
+       returned placement is the cheapest state the trajectory visited
+       (never worse than the constructive start). *)
+    let best_cost = ref !cost in
+    let best = Array.copy fpga_of_block in
+    let note_best () =
+      if !cost < !best_cost then begin
+        best_cost := !cost;
+        Array.blit fpga_of_block 0 best 0 nb
+      end
+    in
+    let eval m =
+      let f1 = draw_int base (3 * m) nf and f2 = draw_int base ((3 * m) + 1) nf in
       if
         f1 <> f2
         && (block_at.(f1) >= 0 || block_at.(f2) >= 0)
@@ -187,39 +245,98 @@ let place part sys ?(seed = 7) ?(effort = 4) ?(pinned = [])
         && movable block_at.(f2)
       then begin
         let b1 = block_at.(f1) and b2 = block_at.(f2) in
-        let swap () =
-          block_at.(f1) <- b2;
-          block_at.(f2) <- b1;
-          if b1 >= 0 then fpga_of_block.(b1) <- f2;
-          if b2 >= 0 then fpga_of_block.(b2) <- f1
-        in
-        let unswap () =
-          block_at.(f1) <- b1;
-          block_at.(f2) <- b2;
-          if b1 >= 0 then fpga_of_block.(b1) <- f1;
-          if b2 >= 0 then fpga_of_block.(b2) <- f2
-        in
-        Stdlib.incr tried;
-        let before = local_cost b1 b2 + local_cost b2 b1 in
-        swap ();
-        let after = local_cost b1 b2 + local_cost b2 b1 in
-        let delta = after - before in
-        let temp =
-          temp0 *. (1.0 -. (float_of_int m /. float_of_int moves)) +. 1e-3
-        in
-        if
-          delta <= 0
-          || Random.State.float rng 1.0 < exp (-.float_of_int delta /. temp)
-        then begin
-          Stdlib.incr accepted;
-          cost := !cost + delta
-        end
-        else unswap ()
+        let before = placed_cost b1 b2 ~at:f1 + placed_cost b2 b1 ~at:f2 in
+        let after = placed_cost b1 b2 ~at:f2 + placed_cost b2 b1 ~at:f1 in
+        Ms_eval { ms_b1 = b1; ms_b2 = b2; ms_delta = after - before }
       end
-    done;
-    Msched_obs.Sink.add obs "place.moves_tried" !tried;
-    Msched_obs.Sink.add obs "place.moves_accepted" !accepted;
-    Msched_obs.Sink.annotate obs
+      else Ms_skip
+    in
+    (* Commit one evaluated move; [touch] records the FPGAs and blocks an
+       accepted swap rewrites (conflict tracking for the parallel path). *)
+    let commit ?touch m spec =
+      match spec with
+      | Ms_skip -> ()
+      | Ms_eval { ms_b1 = b1; ms_b2 = b2; ms_delta = delta } ->
+          let f1 = draw_int base (3 * m) nf
+          and f2 = draw_int base ((3 * m) + 1) nf in
+          Stdlib.incr tried;
+          if
+            delta <= 0
+            || draw_unit base ((3 * m) + 2)
+               < exp (-.float_of_int delta /. temp m)
+          then begin
+            Stdlib.incr accepted;
+            block_at.(f1) <- b2;
+            block_at.(f2) <- b1;
+            if b1 >= 0 then fpga_of_block.(b1) <- f2;
+            if b2 >= 0 then fpga_of_block.(b2) <- f1;
+            cost := !cost + delta;
+            (match touch with
+            | Some (touched_f, touched_b) ->
+                touched_f.(f1) <- true;
+                touched_f.(f2) <- true;
+                if b1 >= 0 then touched_b.(b1) <- true;
+                if b2 >= 0 then touched_b.(b2) <- true
+            | None -> ());
+            note_best ()
+          end
+    in
+    if jobs <= 1 then
+      for m = 0 to moves - 1 do
+        commit m (eval m)
+      done
+    else begin
+      (* Speculative batches: workers evaluate a window of moves against
+         the state at batch start; the committer walks the window in move
+         order and keeps each speculation unless an earlier accepted swap
+         of the same batch touched an FPGA or block (or neighbor) the
+         evaluation read — those moves are re-evaluated live.  The
+         committed trajectory is exactly the sequential one. *)
+      Msched_par.Pool.with_pool ~jobs @@ fun pool ->
+      let touched_f = Array.make nf false in
+      let touched_b = Array.make nb false in
+      let specs = Array.make anneal_batch Ms_skip in
+      let m0 = ref 0 in
+      while !m0 < moves do
+        let bn = min anneal_batch (moves - !m0) in
+        Sink.incr obs "placement.par.batches";
+        Msched_par.Pool.run pool ~n:bn (fun ~worker:_ k ->
+            specs.(k) <- eval (!m0 + k));
+        Array.fill touched_f 0 nf false;
+        Array.fill touched_b 0 nb false;
+        for k = 0 to bn - 1 do
+          let m = !m0 + k in
+          let f1 = draw_int base (3 * m) nf
+          and f2 = draw_int base ((3 * m) + 1) nf in
+          let conflict =
+            touched_f.(f1) || touched_f.(f2)
+            ||
+            match specs.(k) with
+            | Ms_skip -> false
+            | Ms_eval { ms_b1; ms_b2; _ } ->
+                let reads b =
+                  b >= 0
+                  && (touched_b.(b)
+                     || List.exists (fun (n, _) -> touched_b.(n)) adj.(b))
+                in
+                reads ms_b1 || reads ms_b2
+          in
+          let spec =
+            if conflict then begin
+              Sink.incr obs "placement.par.moves_redone";
+              eval m
+            end
+            else specs.(k)
+          in
+          commit ~touch:(touched_f, touched_b) m spec
+        done;
+        m0 := !m0 + bn
+      done
+    end;
+    if !best_cost < !cost then Array.blit best 0 fpga_of_block 0 nb;
+    Sink.add obs "place.moves_tried" !tried;
+    Sink.add obs "place.moves_accepted" !accepted;
+    Sink.annotate obs
       [
         ("moves_accepted", string_of_int !accepted);
         ("moves_rejected", string_of_int (!tried - !accepted));

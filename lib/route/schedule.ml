@@ -116,6 +116,84 @@ let record_metrics obs t sys =
       (pins_used_per_fpga t sys)
   end
 
+(* Canonical JSON emission (schema "msched-schedule-1"): every field in a
+   fixed order, every list in its structural order, no whitespace — two
+   schedules are byte-identical iff they are semantically identical.  The
+   differential determinism suite (test_par) and the serve byte-equality
+   test diff this string across parallel widths. *)
+let to_json_string t =
+  let module Json = Msched_diag.Diag.Json in
+  let b = Buffer.create 8192 in
+  let int_pairs ps =
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i (x, y) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "[%d,%d]" x y))
+      ps;
+    Buffer.add_char b ']'
+  in
+  Buffer.add_string b "{\"schema\":\"msched-schedule-1\",\"length\":";
+  Buffer.add_string b (string_of_int t.length);
+  Buffer.add_string b ",\"length_driver\":";
+  Json.escape b t.length_driver;
+  Buffer.add_string b (Printf.sprintf ",\"vclock_hz\":%.17g" t.vclock_hz);
+  Buffer.add_string b (Printf.sprintf ",\"est_speed_hz\":%.17g" (est_speed_hz t));
+  Buffer.add_string b ",\"links\":[";
+  List.iteri
+    (fun i ls ->
+      if i > 0 then Buffer.add_char b ',';
+      let l = ls.ls_link in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"net\":%d,\"src_block\":%d,\"dst_block\":%d,\"src_fpga\":%d,\"dst_fpga\":%d,\"hard\":%b,\"transports\":["
+           (Ids.Net.to_int l.Link.net)
+           (Ids.Block.to_int l.Link.src_block)
+           (Ids.Block.to_int l.Link.dst_block)
+           (Ids.Fpga.to_int l.Link.src_fpga)
+           (Ids.Fpga.to_int l.Link.dst_fpga)
+           l.Link.hard);
+      List.iteri
+        (fun j tr ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"domain\":%d,\"dep\":%d,\"arr\":%d,\"hard\":%b,\"hops\":"
+               (match tr.tr_domain with Some d -> Ids.Dom.to_int d | None -> -1)
+               tr.tr_fwd_dep tr.tr_fwd_arr tr.tr_hard);
+          int_pairs tr.tr_hops;
+          Buffer.add_char b '}')
+        ls.ls_transports;
+      Buffer.add_string b "]}")
+    t.link_scheds;
+  Buffer.add_string b "],\"holdoffs\":[";
+  List.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"cell\":%d,\"gate\":%d,\"data\":%d}"
+           (Ids.Cell.to_int h.ho_cell) h.ho_gate h.ho_data))
+    t.holdoffs;
+  Buffer.add_string b "],\"peak_channel_usage\":[";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v))
+    t.peak_channel_usage;
+  Buffer.add_string b "],\"dedicated_per_channel\":[";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v))
+    t.dedicated_per_channel;
+  Buffer.add_string b "],\"warnings\":[";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char b ',';
+      Json.escape b w)
+    t.warnings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "schedule: %d vclocks/frame (%s), %.1f kHz est. speed, %d links, %d \

@@ -85,6 +85,13 @@ val mean_transport_latency : t -> float
 (** Average arrival − departure over all transports (0 when there are
     none). *)
 
+val to_json_string : t -> string
+(** Canonical JSON emission (schema ["msched-schedule-1"]): fixed field
+    order, structural list order, no whitespace — two schedules serialize
+    byte-identically iff they are semantically identical.  This is the
+    equality witness of the parallel-compile differential suite: jobs=N
+    and jobs=1 compiles must produce the same string. *)
+
 val record_metrics : Msched_obs.Sink.t -> t -> Msched_arch.System.t -> unit
 (** Record schedule-level observability metrics (frame length and estimated
     speed gauges, hold-off counters, per-channel occupancy and per-FPGA pin

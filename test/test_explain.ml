@@ -190,9 +190,10 @@ let annotate_lands_on_open_span () =
 
 (* ---- Bench regression gate ---- *)
 
-let doc ~span_us ~length ~speed ~clean ~extra_counter =
+let doc ?(par_identical = true) ~span_us ~length ~speed ~clean ~extra_counter
+    () =
   Printf.sprintf
-    {|{"schema":"msched-bench-pipeline-5",
+    {|{"schema":"msched-bench-pipeline-6",
        "designs":{"d1":{"schema":"msched-obs-1",
          "spans":[{"id":0,"parent":null,"depth":0,"name":"prepare","begin_us":0,"dur_us":%d,"args":{}}],
          "counters":{"work.items":100%s},
@@ -200,10 +201,17 @@ let doc ~span_us ~length ~speed ~clean ~extra_counter =
          "histograms":{}}},
        "driver":{"result":{},"obs":{"schema":"msched-obs-1","spans":[],"counters":{"driver.attempts":1},"gauges":{},"histograms":{}}},
        "batch":{"cores":1},
-       "workloads":{"gals":[{"spec":"gals:islands=4,size=2","schedule_length":%d,"est_speed_hz":%g,"verifier_clean":%b}]}}|}
-    span_us extra_counter length speed length speed clean
+       "workloads":{"gals":[{"spec":"gals:islands=4,size=2","schedule_length":%d,"est_speed_hz":%g,"verifier_clean":%b}]},
+       "par":{"design":"dense:domains=16,density=0.8","cores":1,
+         "prepare_wall_s":{"jobs1":0.1,"jobs2":0.2,"jobs4":0.3},
+         "route_wall_s":{"jobs1":0.1,"jobs2":0.2,"jobs4":0.3},
+         "schedule_identical_1v2":%b,"schedule_identical_1v4":true,
+         "placement_identical":true,"schedule_length":%d,"est_speed_hz":%g}}|}
+    span_us extra_counter length speed length speed clean par_identical
+    length speed
 
-let base_doc = doc ~span_us:10_000 ~length:10 ~speed:1e6 ~clean:true ~extra_counter:""
+let base_doc =
+  doc ~span_us:10_000 ~length:10 ~speed:1e6 ~clean:true ~extra_counter:"" ()
 
 let gate label ~fresh expect_ok =
   match Baseline.compare_runs ~baseline:base_doc ~fresh with
@@ -218,31 +226,38 @@ let gate label ~fresh expect_ok =
 let gate_verdicts () =
   gate "identical documents pass" ~fresh:base_doc true;
   gate "benign time noise passes"
-    ~fresh:(doc ~span_us:30_000 ~length:10 ~speed:1e6 ~clean:true ~extra_counter:"")
+    ~fresh:(doc ~span_us:30_000 ~length:10 ~speed:1e6 ~clean:true ~extra_counter:"" ())
     true;
   gate "6x slower and >50ms fails"
-    ~fresh:(doc ~span_us:70_000 ~length:10 ~speed:1e6 ~clean:true ~extra_counter:"")
+    ~fresh:(doc ~span_us:70_000 ~length:10 ~speed:1e6 ~clean:true ~extra_counter:"" ())
     false;
   gate "any frame growth fails"
-    ~fresh:(doc ~span_us:10_000 ~length:11 ~speed:1e6 ~clean:true ~extra_counter:"")
+    ~fresh:(doc ~span_us:10_000 ~length:11 ~speed:1e6 ~clean:true ~extra_counter:"" ())
     false;
   gate "any speed loss fails"
-    ~fresh:(doc ~span_us:10_000 ~length:10 ~speed:9e5 ~clean:true ~extra_counter:"")
+    ~fresh:(doc ~span_us:10_000 ~length:10 ~speed:9e5 ~clean:true ~extra_counter:"" ())
     false;
   gate "verifier going dirty fails"
-    ~fresh:(doc ~span_us:10_000 ~length:10 ~speed:1e6 ~clean:false ~extra_counter:"")
+    ~fresh:(doc ~span_us:10_000 ~length:10 ~speed:1e6 ~clean:false ~extra_counter:"" ())
+    false;
+  (* Parallel widths diverging (schedule no longer byte-identical across
+     --compile-jobs) is a Bool equality class: any flip fails. *)
+  gate "parallel divergence fails"
+    ~fresh:
+      (doc ~par_identical:false ~span_us:10_000 ~length:10 ~speed:1e6
+         ~clean:true ~extra_counter:"" ())
     false;
   (* New metrics never fail; metrics vanishing from the fresh run do. *)
   gate "new metric in fresh run passes"
     ~fresh:
       (doc ~span_us:10_000 ~length:10 ~speed:1e6 ~clean:true
-         ~extra_counter:{|,"work.extra":1|})
+         ~extra_counter:{|,"work.extra":1|} ())
     true;
   (match
      Baseline.compare_runs
        ~baseline:
          (doc ~span_us:10_000 ~length:10 ~speed:1e6 ~clean:true
-            ~extra_counter:{|,"work.extra":1|})
+            ~extra_counter:{|,"work.extra":1|} ())
        ~fresh:base_doc
    with
   | Ok diff ->

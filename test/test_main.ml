@@ -30,6 +30,7 @@ let () =
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("server", Test_server.suite);
+      ("par", Test_par.suite);
       ("serve-net", Test_serve_net.suite);
       ("explain", Test_explain.suite);
     ]
