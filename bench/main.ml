@@ -440,12 +440,78 @@ let par_doc () =
     s1.Msched_route.Schedule.length
     (Msched_route.Schedule.est_speed_hz s1)
 
+(* Incremental delta compilation (ISSUE 10): one cold base compile with a
+   manifest harvest, an identity replay (everything reused, zero search),
+   and a connectivity-preserving single-block edit compiled warm against
+   the manifest.  The gate keys on the equality classes — the warm
+   schedule byte-identical to the cold one, strictly fewer pathfinder
+   expansions — and on the reuse fraction; wall times are informational. *)
+let delta_doc () =
+  let module Compile = Msched.Compile in
+  let module Edit = Msched_delta.Edit in
+  let module Diff = Msched_delta.Diff in
+  let spec = "gals:islands=6,size=6" in
+  let nl =
+    (Design_gen.gals_islands ~seed:9 ~islands:6 ~island_size:6 ())
+      .Design_gen.netlist
+  in
+  let options = Compile.default_options in
+  let t0 = Unix.gettimeofday () in
+  let base = Compile.compile_base ~options nl in
+  let base_wall = Unix.gettimeofday () -. t0 in
+  let ident =
+    Compile.compile_delta ~options ~manifest:base.Compile.base_manifest nl
+  in
+  let sjson c = Msched_route.Schedule.to_json_string c.Compile.schedule in
+  (* First flip seed that achieves reuse: domain flips preserve
+     connectivity, so the seeded partition stays stable and the untouched
+     blocks replay (deterministic for the committed seed). *)
+  let rec pick seed =
+    if seed > 19 then failwith "bench delta: no flip edit achieved reuse"
+    else
+      match Edit.apply ~seed Edit.Flip_domain nl with
+      | Error _ -> pick (seed + 1)
+      | Ok (edited, desc) ->
+          let cold = Compile.compile_base ~options edited in
+          let t1 = Unix.gettimeofday () in
+          let delta =
+            Compile.compile_delta ~options
+              ~manifest:base.Compile.base_manifest edited
+          in
+          let warm_wall = Unix.gettimeofday () -. t1 in
+          if delta.Compile.delta_reused > 0 then
+            (desc, cold, delta, warm_wall)
+          else pick (seed + 1)
+  in
+  let desc, cold, delta, warm_wall = pick 0 in
+  let clean, dirty, cone =
+    match delta.Compile.delta_diff with
+    | Some d -> (Diff.clean_count d, Diff.dirty_count d, Diff.cone_size d)
+    | None -> (0, 0, 0)
+  in
+  Printf.sprintf
+    "{\"design\":%s,\"edit\":%s,\"base_expansions\":%d,\"base_wall_s\":%.6f,\"identity_reused\":%d,\"identity_expansions\":%d,\"blocks_clean\":%d,\"blocks_dirty\":%d,\"cone\":%d,\"reused\":%d,\"ripped\":%d,\"fresh\":%d,\"cold_expansions\":%d,\"warm_expansions\":%d,\"warm_wall_s\":%.6f,\"fewer_expansions\":%b,\"reuse_fraction\":%.4f,\"schedule_identical\":%b,\"schedule_length\":%d,\"est_speed_hz\":%.1f}"
+    (Msched_diag.Diag.Json.string spec)
+    (Msched_diag.Diag.Json.string desc)
+    base.Compile.base_expansions base_wall ident.Compile.delta_reused
+    ident.Compile.delta_expansions clean dirty cone
+    delta.Compile.delta_reused delta.Compile.delta_ripped
+    delta.Compile.delta_fresh cold.Compile.base_expansions
+    delta.Compile.delta_expansions warm_wall
+    (delta.Compile.delta_expansions < cold.Compile.base_expansions)
+    (Compile.delta_reuse_fraction delta)
+    (sjson delta.Compile.delta_compiled = sjson cold.Compile.base_compiled)
+    delta.Compile.delta_compiled.Compile.schedule.Msched_route.Schedule.length
+    (Msched_route.Schedule.est_speed_hz
+       delta.Compile.delta_compiled.Compile.schedule)
+
 let write_pipeline_json path =
   let doc =
     Printf.sprintf
-      "{\"schema\":\"msched-bench-pipeline-6\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s,\"serve\":%s,\"workloads\":%s,\"par\":%s}\n"
+      "{\"schema\":\"msched-bench-pipeline-7\",\"designs\":{\"design1\":%s,\"design2\":%s},\"driver\":%s,\"batch\":%s,\"serve\":%s,\"workloads\":%s,\"par\":%s,\"delta\":%s}\n"
       (pipeline_doc design1) (pipeline_doc design2) (driver_doc ())
       (batch_doc ()) (serve_doc ()) (workloads_doc ()) (par_doc ())
+      (delta_doc ())
   in
   let oc = open_out path in
   output_string oc doc;

@@ -4,6 +4,8 @@
      msched compile  design.mnl|SPEC [--pins N] [--weight N] [--mode virtual|hard|naive]
                      [--forward] [--retries N] [--fallback-hard] [--cold]
                      [--max-extra N] [--diag-json FILE]
+                     [--delta-base MANIFEST] [--emit-manifest FILE]
+     msched delta diff BASE EDITED [--pins N] [--weight N] [--json FILE]
      msched lint     design.mnl [--diag-json FILE]
      msched check    design.mnl|SPEC [--pins N] [--weight N] [--mode virtual|hard|naive] [--forward] [--json FILE]
      msched explain  design.mnl|SPEC [--mode virtual|hard|naive] [--json FILE] [--trace FILE]
@@ -47,6 +49,8 @@ module Manifest = Msched_server.Manifest
 module Cache = Msched_server.Cache
 module Dispatch = Msched_server.Dispatch
 module Transport = Msched_server.Transport
+module Delta_manifest = Msched_delta.Manifest
+module Delta_diff = Msched_delta.Diff
 
 (* Errors are always printed; warnings are capped so a lint-unclean but
    compilable design doesn't bury the result (full detail via --diag-json). *)
@@ -195,8 +199,60 @@ let pp_compiled ppf pins (c : Msched.Compile.compiled) =
     (100.0 *. Schedule.channel_utilization sched prepared.Msched.Compile.system)
     (Schedule.mean_transport_latency sched)
 
+(* The incremental loop (docs/DELTA.md): [--emit-manifest] makes the
+   compile an {e exact base} and persists its manifest; [--delta-base]
+   replays a previous manifest against the edited design.  Both bypass the
+   retry ladder — delta compilation is exact-context by construction and
+   raises (under [protect]) exactly when a cold compile would. *)
+let pp_delta ppf (d : Msched.Compile.delta_result) =
+  (match d.Msched.Compile.delta_diff with
+  | Some diff -> Format.fprintf ppf "delta:    %a@." Delta_diff.pp diff
+  | None ->
+      Format.fprintf ppf
+        "delta:    cold fallback (foreign manifest: options or shape \
+         mismatch)@.");
+  Format.fprintf ppf
+    "delta:    %d reused / %d ripped / %d fresh (%.0f%% reuse), %d \
+     seeded, %d dropped, %d expansions@."
+    d.Msched.Compile.delta_reused d.Msched.Compile.delta_ripped
+    d.Msched.Compile.delta_fresh
+    (100.0 *. Msched.Compile.delta_reuse_fraction d)
+    d.Msched.Compile.delta_seeded d.Msched.Compile.delta_dropped
+    d.Msched.Compile.delta_expansions
+
+let read_delta_manifest path =
+  match Delta_manifest.of_json_string (read_text path) with
+  | Ok m -> m
+  | Error msg ->
+      Format.eprintf "%s: %a@." path Diag.pp
+        (Diag.error Diag.E_CACHE "not a delta manifest: %s" msg);
+      exit (Diag.exit_code Diag.E_CACHE)
+
+let compile_delta_cmd ~options ~ppf ~pins ~delta_base ~emit_manifest nl =
+  let manifest =
+    match delta_base with
+    | Some mpath ->
+        let base = read_delta_manifest mpath in
+        let d = Msched.Compile.compile_delta ~options ~manifest:base nl in
+        pp_compiled ppf pins d.Msched.Compile.delta_compiled;
+        pp_delta ppf d;
+        d.Msched.Compile.delta_manifest
+    | None ->
+        let b = Msched.Compile.compile_base ~options nl in
+        pp_compiled ppf pins b.Msched.Compile.base_compiled;
+        Format.fprintf ppf "delta:    base manifest: %d blocks, %d ledger \
+                            entries, %d expansions@."
+          b.Msched.Compile.base_manifest.Delta_manifest.num_blocks
+          (List.length b.Msched.Compile.base_manifest.Delta_manifest.entries)
+          b.Msched.Compile.base_expansions;
+        b.Msched.Compile.base_manifest
+  in
+  match emit_manifest with
+  | None -> ()
+  | Some p -> write_out p (Delta_manifest.to_json_string manifest ^ "\n")
+
 let compile_cmd path pins weight mode forward retries fallback_hard cold
-    max_extra compile_jobs trace diag_json =
+    max_extra compile_jobs trace diag_json delta_base emit_manifest =
   protect @@ fun () ->
   let nl = netlist_of_design_arg path in
   let obs = sink_of_trace trace in
@@ -223,6 +279,16 @@ let compile_cmd path pins weight mode forward retries fallback_hard cold
     let sched = Msched.Compile.route_forward ~obs prepared ropts in
     pp_compiled ppf pins
       { Msched.Compile.prepared; Msched.Compile.schedule = sched };
+    write_trace trace obs
+  end
+  else if delta_base <> None || emit_manifest <> None then begin
+    let options =
+      {
+        (options_of ~obs ~compile_jobs pins weight) with
+        Msched.Compile.route = ropts;
+      }
+    in
+    compile_delta_cmd ~options ~ppf ~pins ~delta_base ~emit_manifest nl;
     write_trace trace obs
   end
   else begin
@@ -628,17 +694,49 @@ let cache_stats_cmd dir =
   protect @@ fun () ->
   let s = Cache.stats ~dir in
   Printf.printf
-    "{\"schema\":\"msched-cache-stats-1\",\"dir\":%s,\"entries\":%d,\"bytes\":%d,\"oldest_s\":%.3f}\n"
-    (Diag.Json.string dir) s.Cache.st_entries s.Cache.st_bytes
-    s.Cache.st_oldest_s
+    "{\"schema\":\"msched-cache-stats-1\",\"dir\":%s,\"entries\":%d,\"manifests\":%d,\"blocks\":%d,\"bytes\":%d,\"oldest_s\":%.3f}\n"
+    (Diag.Json.string dir) s.Cache.st_entries s.Cache.st_manifests
+    s.Cache.st_blocks s.Cache.st_bytes s.Cache.st_oldest_s
 
 let cache_gc_cmd dir max_bytes =
   protect @@ fun () ->
   let r = Cache.gc ~dir ~max_bytes in
   Printf.printf
-    "{\"schema\":\"msched-cache-gc-1\",\"dir\":%s,\"max_bytes\":%d,\"scanned\":%d,\"evicted\":%d,\"bytes_before\":%d,\"bytes_after\":%d}\n"
+    "{\"schema\":\"msched-cache-gc-1\",\"dir\":%s,\"max_bytes\":%d,\"scanned\":%d,\"evicted\":%d,\"orphans\":%d,\"bytes_before\":%d,\"bytes_after\":%d}\n"
     (Diag.Json.string dir) max_bytes r.Cache.gc_scanned r.Cache.gc_evicted
-    r.Cache.gc_bytes_before r.Cache.gc_bytes_after
+    r.Cache.gc_orphans r.Cache.gc_bytes_before r.Cache.gc_bytes_after
+
+(* ---- Incremental-compile front end (`msched delta diff`). ---- *)
+
+let delta_diff_cmd base edited pins weight json =
+  protect @@ fun () ->
+  let options = options_of pins weight in
+  let b = Msched.Compile.compile_base ~options (netlist_of_design_arg base) in
+  let prepared =
+    Msched.Compile.prepare ~options (netlist_of_design_arg edited)
+  in
+  let ppf =
+    if json = Some "-" then Format.err_formatter else Format.std_formatter
+  in
+  match
+    Delta_diff.compute ~manifest:b.Msched.Compile.base_manifest
+      prepared.Msched.Compile.placement
+      ~analysis:prepared.Msched.Compile.analysis
+  with
+  | None ->
+      Format.fprintf ppf
+        "delta diff: block counts differ — topology changed, nothing is \
+         comparable (a delta compile would fall back cold)@.";
+      (match json with
+      | None -> ()
+      | Some p ->
+          write_out p
+            "{\"schema\":\"msched-delta-diff-1\",\"comparable\":false}\n")
+  | Some diff ->
+      Format.fprintf ppf "%a@." Delta_diff.pp diff;
+      (match json with
+      | None -> ()
+      | Some p -> write_out p (Delta_diff.to_json_string diff ^ "\n"))
 
 let gen_cmd name scale =
   protect @@ fun () ->
@@ -888,6 +986,60 @@ let gc_max_bytes_arg =
     & info [ "max-bytes" ] ~docv:"BYTES"
         ~doc:"Evict least-recently-used entries until the cache fits")
 
+let delta_base_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "delta-base" ] ~docv:"MANIFEST"
+        ~doc:
+          "Incremental compile: replay the routed schedule recorded in a \
+           previous compile's --emit-manifest JSON for everything the edit \
+           did not touch (byte-identical schedule, a fraction of the \
+           search; see docs/DELTA.md)")
+
+let emit_manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-manifest" ] ~docv:"FILE"
+        ~doc:
+          "Write this compile's delta manifest (block fingerprints plus \
+           the proven routing ledger; \"-\" = stdout) — the base for a \
+           later --delta-base run.  Without --delta-base this makes the \
+           compile an exact base compile")
+
+let delta_base_design_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BASE" ~doc:"Base design: netlist file or generator spec")
+
+let delta_edited_design_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"EDITED"
+        ~doc:"Edited design: netlist file or generator spec")
+
+let delta_cmd =
+  Cmd.group
+    (Cmd.info "delta"
+       ~doc:
+         "Incremental-compilation tools: inspect what an edit dirties \
+          before paying for the compile (docs/DELTA.md)")
+    [
+      Cmd.v
+        (Cmd.info "diff"
+           ~doc:
+             "Compile BASE as an exact base, re-prepare EDITED, and report \
+              the block-level diff — clean/dirty fingerprints, moved \
+              blocks, changed boundary nets and the dirty cone a delta \
+              compile would re-route (--json = msched-delta-diff-1 line)")
+        Term.(
+          const delta_diff_cmd $ delta_base_design_arg
+          $ delta_edited_design_arg $ pins_arg $ weight_arg $ json_arg);
+    ]
+
 let cache_cmd =
   Cmd.group
     (Cmd.info "cache"
@@ -915,7 +1067,8 @@ let cmds =
       Term.(
         const compile_cmd $ design_arg $ pins_arg $ weight_arg $ mode_arg
         $ forward_arg $ retries_arg $ fallback_hard_arg $ cold_arg
-        $ max_extra_arg $ compile_jobs_arg $ trace_arg $ diag_json_arg);
+        $ max_extra_arg $ compile_jobs_arg $ trace_arg $ diag_json_arg
+        $ delta_base_arg $ emit_manifest_arg);
     Cmd.v
       (Cmd.info "lint"
          ~doc:
@@ -982,6 +1135,7 @@ let cmds =
         $ cache_max_bytes_arg $ inject_faults_arg $ cache_dir_arg $ pins_arg
         $ weight_arg $ mode_arg $ retries_arg $ fallback_hard_arg $ cold_arg
         $ max_extra_arg $ compile_jobs_arg);
+    delta_cmd;
     cache_cmd;
   ]
 

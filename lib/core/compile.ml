@@ -544,6 +544,125 @@ let compile_resilient ?(options = default_options) ?(max_retries = 3)
     { compiled; attempts; diagnostics = List.rev !diags; degradation }
   end
 
+(* ------------------------------------------------------------------ *)
+(* Delta compilation (docs/DELTA.md): compile against a base manifest,
+   replaying the base compile's routed schedule for everything the edit
+   provably did not touch.  Equivalence rests on the exact-context
+   machinery of [Reroute] — every replay is validated by its probe
+   transcript, so the result is byte-identical to a cold compile of the
+   same design no matter what the diff classification decided. *)
+
+module Manifest = Msched_delta.Manifest
+module Delta_diff = Msched_delta.Diff
+module Delta_fp = Msched_delta.Fingerprint
+
+(* The canonical rendering of every option that shapes a compile; the
+   server cache keys on it and manifests embed it (a mismatch makes the
+   manifest's ledger meaningless: different seeds, slack or topology
+   re-decide everything). *)
+let options_fingerprint (o : options) =
+  Printf.sprintf
+    "mode=%s;extra=%d;pins=%d;weight=%d;pseed=%d;plseed=%d;effort=%d;vhz=%.6g;topo=%s;verify=%b"
+    (Tiers.mode_name o.route.Tiers.mode)
+    o.route.Tiers.max_extra_slots o.pins_per_fpga o.max_block_weight
+    o.partition_seed o.place_seed o.place_effort o.vclock_hz
+    (Format.asprintf "%a" Msched_arch.Topology.pp_kind o.topology_kind)
+    o.verify
+
+let manifest_of ~options ~ctx prepared =
+  Manifest.build
+    ~options_fp:(options_fingerprint options)
+    ~design_fp:(Delta_fp.design prepared.original)
+    prepared.placement ~analysis:prepared.analysis ~ctx
+
+type base = {
+  base_compiled : compiled;
+  base_manifest : Manifest.t;
+  base_expansions : int;
+}
+
+let compile_base ?(options = default_options) nl =
+  let obs = options.obs in
+  Sink.span obs "compile" @@ fun () ->
+  let prepared = prepare ~options nl in
+  let ctx = Reroute.create ~exact:true () in
+  let compiled = compile_prepared ~options ~reroute:ctx prepared in
+  {
+    base_compiled = compiled;
+    base_manifest = manifest_of ~options ~ctx prepared;
+    base_expansions = Reroute.expansions ctx;
+  }
+
+type delta_result = {
+  delta_compiled : compiled;
+  delta_manifest : Manifest.t;
+  delta_diff : Delta_diff.t option;  (* [None] when the compile fell cold *)
+  delta_seeded : int;
+  delta_dropped : int;
+  delta_reused : int;
+  delta_ripped : int;
+  delta_fresh : int;
+  delta_expansions : int;
+}
+
+let delta_reuse_fraction d =
+  let total = d.delta_reused + d.delta_ripped + d.delta_fresh in
+  if total = 0 then 0.0
+  else float_of_int d.delta_reused /. float_of_int total
+
+let compile_delta ?(options = default_options) ~manifest nl =
+  let obs = options.obs in
+  Sink.span obs "delta" @@ fun () ->
+  let finish ?diff ~seeded ~dropped ctx compiled prepared =
+    if diff = None then Sink.incr obs "delta.cold_fallback";
+    Sink.add obs "delta.reused" (Reroute.reused ctx);
+    Sink.add obs "delta.ripped" (Reroute.ripped ctx);
+    Sink.add obs "delta.fresh" (Reroute.fresh ctx);
+    {
+      delta_compiled = compiled;
+      delta_manifest = manifest_of ~options ~ctx prepared;
+      delta_diff = diff;
+      delta_seeded = seeded;
+      delta_dropped = dropped;
+      delta_reused = Reroute.reused ctx;
+      delta_ripped = Reroute.ripped ctx;
+      delta_fresh = Reroute.fresh ctx;
+      delta_expansions = Reroute.expansions ctx;
+    }
+  in
+  let cold prepared =
+    let ctx = Reroute.create ~exact:true () in
+    let compiled = compile_prepared ~options ~reroute:ctx prepared in
+    finish ~seeded:0 ~dropped:0 ctx compiled prepared
+  in
+  let options_fp = options_fingerprint options in
+  if not (String.equal manifest.Manifest.options_fp options_fp) then
+    cold (prepare ~options nl)
+  else
+    let prepared = prepare ~options nl in
+    match
+      Delta_diff.compute ~manifest prepared.placement
+        ~analysis:prepared.analysis
+    with
+    | None -> cold prepared
+    | Some diff -> (
+        Sink.add obs "delta.blocks_clean" (Delta_diff.clean_count diff);
+        Sink.add obs "delta.blocks_dirty" (Delta_diff.dirty_count diff);
+        Sink.add obs "delta.cone" (Delta_diff.cone_size diff);
+        let s = Delta_diff.seed ~manifest ~diff prepared.placement in
+        Sink.add obs "delta.entries_seeded" s.Delta_diff.seeded;
+        Sink.add obs "delta.entries_dropped" s.Delta_diff.dropped;
+        let ctx = s.Delta_diff.ctx in
+        match compile_prepared ~options ~reroute:ctx prepared with
+        | compiled ->
+            finish ~diff ~seeded:s.Delta_diff.seeded
+              ~dropped:s.Delta_diff.dropped ctx compiled prepared
+        | exception (Tiers.Unroutable _ | Compile_error _) ->
+            (* Unreachable when the base compiled: validated replays make
+               the warm pass the cold pass.  Kept as defense in depth for
+               manifests from foreign or corrupted sources. *)
+            cold prepared)
+
 (* ---- Reporting. ---- *)
 
 let pp_attempt ppf a =

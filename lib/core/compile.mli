@@ -122,6 +122,68 @@ val check_jobs_budget :
     knobs) only when {e both} knobs exceed 1 and their product exceeds the
     budget — either knob alone is an explicit user tradeoff and passes. *)
 
+(** {2 Delta compilation}
+
+    An {e exact} base compile routes under a probe-transcribing reroute
+    context ({!Msched_route.Reroute.create}[ ~exact:true]) and harvests a
+    {!Msched_delta.Manifest.t}: block fingerprints, boundary signatures,
+    the placement assignment, and every routed transport with the probe
+    transcript that proves its replay.  A later {!compile_delta} of an
+    edited design diffs its blocks against the manifest, seeds an exact
+    context with the surviving ledger, and replays everything the edit
+    did not touch — producing a schedule {e byte-identical} to a cold
+    compile (same [Schedule.to_json_string]) at a fraction of the search
+    work.  See [docs/DELTA.md] for the equivalence argument. *)
+
+val options_fingerprint : options -> string
+(** Canonical rendering of every option that shapes a compile (routing
+    mode, slack, capacity, seeds, effort, vclock, topology, verify).  The
+    server cache keys on it; manifests embed it and refuse to warm-start a
+    compile run under different options. *)
+
+type base = {
+  base_compiled : compiled;
+  base_manifest : Msched_delta.Manifest.t;
+  base_expansions : int;  (** Pathfinder states popped — the cold cost. *)
+}
+
+val compile_base : ?options:options -> Netlist.t -> base
+(** A cold compile under a fresh exact context.  The schedule is
+    byte-identical to {!compile} with no context (exact contexts freeze
+    congestion history, so searches explore in declaration order either
+    way); the extra output is the manifest. *)
+
+type delta_result = {
+  delta_compiled : compiled;
+  delta_manifest : Msched_delta.Manifest.t;
+      (** The updated manifest — the base for the {e next} edit. *)
+  delta_diff : Msched_delta.Diff.t option;
+      (** [None] when the compile fell back cold (options fingerprint or
+          block-count mismatch, or a foreign manifest that failed). *)
+  delta_seeded : int;  (** Manifest entries seeded into the context. *)
+  delta_dropped : int;  (** Entries dropped (cone, unresolvable names). *)
+  delta_reused : int;  (** Transports replayed without a search. *)
+  delta_ripped : int;
+  delta_fresh : int;
+  delta_expansions : int;  (** Pathfinder states popped — the warm cost. *)
+}
+
+val delta_reuse_fraction : delta_result -> float
+(** [reused / (reused + ripped + fresh)]; 0 when nothing was routed. *)
+
+val compile_delta :
+  ?options:options -> manifest:Msched_delta.Manifest.t -> Netlist.t -> delta_result
+(** Compile [nl] warm against [manifest].  Front-end phases (domain
+    analysis, MTS transform, partition, placement, latch analysis) always
+    run — they are cheap and deterministic; only transport {e routing} is
+    replayed.  Byte-identical to a cold compile by construction.
+    Observability: span [delta], counters [delta.blocks_clean],
+    [delta.blocks_dirty], [delta.cone], [delta.entries_seeded],
+    [delta.entries_dropped], [delta.reused], [delta.ripped],
+    [delta.fresh], [delta.cold_fallback].
+    @raise Compile_error / {!Msched_route.Tiers.Unroutable} exactly when a
+    cold compile of [nl] would. *)
+
 val diag_of_exn : exn -> Msched_diag.Diag.t
 (** Map any pipeline exception onto its structured diagnostic
     ([Compile_error] / [Unroutable] / [Unsupported] / [Diag.Fail] payloads

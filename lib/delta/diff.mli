@@ -1,0 +1,45 @@
+(** The delta diff engine: classify the blocks of an edited, re-prepared
+    design against a base manifest, compute the {e dirty cone}, and seed
+    an exact reroute context with the ledger entries that survive.
+
+    The cone is a reuse heuristic, not a correctness boundary: every
+    seeded entry individually proves its replay through its probe
+    transcript (see {!Msched_route.Reroute.create}[ ~exact]), so the
+    compiled schedule is byte-identical to a cold compile no matter how
+    the classification turns out.  The cone exists to drop entries that
+    almost certainly cannot replay — dirty blocks, moved blocks, both
+    ends of changed boundary nets, and the MTS closure over them (one
+    crossing's per-domain transports are latency-equalized as a group). *)
+
+open Msched_netlist
+
+type t = {
+  d_clean : int list;  (** Block indices whose fingerprints match. *)
+  d_dirty : int list;
+  d_moved : int list;  (** Blocks whose FPGA assignment drifted. *)
+  d_changed_boundary : string list;  (** Crossing-net names. *)
+  d_cone : Ids.Block.Set.t;
+}
+
+val clean_count : t -> int
+val dirty_count : t -> int
+val cone_size : t -> int
+
+val compute :
+  manifest:Manifest.t ->
+  Msched_place.Placement.t ->
+  analysis:Msched_mts.Domain_analysis.t ->
+  t option
+(** [None] when the edited design partitions into a different number of
+    blocks — the topology changed, nothing is comparable, compile cold. *)
+
+type seeded = { ctx : Msched_route.Reroute.t; seeded : int; dropped : int }
+
+val seed : manifest:Manifest.t -> diff:t -> Msched_place.Placement.t -> seeded
+(** An exact context holding every manifest entry that resolves in the
+    edited design and avoids the cone. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json_string : t -> string
+(** Schema ["msched-delta-diff-1"] (the [msched delta diff] output). *)

@@ -79,7 +79,7 @@ let extract text =
   | Error at -> Error (parse_error "baseline is not valid JSON (%s)" at)
   | Ok doc -> (
       match Option.bind (J.mem "schema" doc) J.str with
-      | Some "msched-bench-pipeline-6" ->
+      | Some "msched-bench-pipeline-7" ->
           let acc = [] in
           let acc =
             match J.mem "designs" doc with
@@ -193,6 +193,40 @@ let extract text =
                 |> num_metric "est_speed_hz" Speed
             | None -> acc
           in
+          let acc =
+            (* Delta-compilation section: gate the equality classes (warm
+               schedule byte-identical to cold, strictly fewer pathfinder
+               expansions) and the reuse economics; the wall times are
+               informational, never compared. *)
+            match J.mem "delta" doc with
+            | Some delta ->
+                let bool_metric field acc =
+                  match J.mem field delta with
+                  | Some (J.Bool b) ->
+                      {
+                        m_path = "delta." ^ field;
+                        m_kind = Bool;
+                        m_value = (if b then 1.0 else 0.0);
+                      }
+                      :: acc
+                  | _ -> acc
+                in
+                let num_metric field kind acc =
+                  match Option.bind (J.mem field delta) J.num with
+                  | Some f ->
+                      { m_path = "delta." ^ field; m_kind = kind; m_value = f }
+                      :: acc
+                  | None -> acc
+                in
+                bool_metric "schedule_identical" acc
+                |> bool_metric "fewer_expansions"
+                |> num_metric "reuse_fraction" Speed
+                |> num_metric "warm_expansions" Count
+                |> num_metric "identity_expansions" Count
+                |> num_metric "schedule_length" Length
+                |> num_metric "est_speed_hz" Speed
+            | None -> acc
+          in
           Ok
             (List.sort
                (fun a b -> compare a.m_path b.m_path)
@@ -200,7 +234,7 @@ let extract text =
       | Some other ->
           Error
             (parse_error
-               "baseline schema is %S, expected \"msched-bench-pipeline-6\""
+               "baseline schema is %S, expected \"msched-bench-pipeline-7\""
                other)
       | None -> Error (parse_error "baseline document has no schema field"))
 

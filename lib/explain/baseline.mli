@@ -1,4 +1,4 @@
-(** Bench regression gate: diff a fresh [msched-bench-pipeline-6] document
+(** Bench regression gate: diff a fresh [msched-bench-pipeline-7] document
     (what [bench/main.exe] just produced) against a committed baseline
     ([BENCH_pipeline.json]) with per-metric-class tolerances.
 
@@ -34,7 +34,7 @@ val kind_name : kind -> string
 type metric = { m_path : string; m_kind : kind; m_value : float }
 
 val extract : string -> (metric list, Msched_diag.Diag.t) result
-(** Flatten a [msched-bench-pipeline-6] JSON document into classified
+(** Flatten a [msched-bench-pipeline-7] JSON document into classified
     metrics.  [Error] ([E_PARSE]) when the text is not valid JSON or not
     the expected schema. *)
 

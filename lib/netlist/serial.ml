@@ -215,6 +215,11 @@ let of_string text =
       Error (Printf.sprintf "line %d: %s" lineno msg)
   | exception Invalid_argument msg -> Error msg
 
+let canonical text =
+  match of_string text with
+  | Ok nl -> Ok (to_string nl)
+  | Error _ as e -> e
+
 (* Diagnostic-collecting parse: one diagnostic per bad line (the line is
    skipped and parsing continues, so one typo does not hide the rest), then
    the accumulating structural validation of [Builder.finalize_result].

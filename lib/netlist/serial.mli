@@ -25,6 +25,16 @@
 val to_string : Netlist.t -> string
 val output : Format.formatter -> Netlist.t -> unit
 
+val gate_name : Cell.gate -> string
+val gate_of_name : string -> Cell.gate option
+
+val canonical : string -> (string, string) result
+(** Parse and re-emit: normalizes whitespace, comments, blank lines and
+    file-local net numbering while preserving the semantic identity of the
+    design (internal id order).  Emitted text is a fixpoint:
+    [canonical (canonical s) = canonical s], byte for byte — the property
+    that makes it safe to use as a cache-key preimage. *)
+
 val of_string : string -> (Netlist.t, string) result
 (** Parse and validate, stopping at the first problem. The error carries a
     line number and reason. *)

@@ -182,6 +182,7 @@ let schedule placement dom_analysis ?analysis ?(options = Tiers.default_options)
                 Reroute.e_anchor = dep;
                 e_len = p.Pathfind.p_len;
                 e_hops = p.Pathfind.p_hops;
+                e_probes = None;
               }
         | None -> ());
         (dom, dep, dep + p.Pathfind.p_len, p.Pathfind.p_hops)

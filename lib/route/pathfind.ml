@@ -92,7 +92,21 @@ let backward_core ~probe ~order sys ~src ~dst ~r_arr ~r_limit ~expanded =
       let hops = List.rev (unwind final []) in
       Some { p_len = snd final - r_arr; p_hops = hops }
 
-let search ?(obs = Sink.null) ?ctx sys res ~src ~dst ~r_arr ~max_extra =
+(* Probe transcript of one live search: every (channel, reverse slot) the
+   BFS tested, split by outcome.  The exploration is a deterministic
+   function of these results (see [backward_core]), so a later run in
+   which every recorded probe resolves identically provably performs the
+   byte-identical search — the validity condition for exact ledger replay
+   in delta compilation. *)
+type probe_log = {
+  mutable pr_free : (int * int) list;
+  mutable pr_blocked : (int * int) list;
+}
+
+let probe_log () = { pr_free = []; pr_blocked = [] }
+
+let search ?(obs = Sink.null) ?ctx ?probe:plog sys res ~src ~dst ~r_arr
+    ~max_extra =
   Sink.incr obs "pathfind.searches";
   if Ids.Fpga.equal src dst then Some { p_len = 0; p_hops = [] }
   else begin
@@ -101,6 +115,11 @@ let search ?(obs = Sink.null) ?ctx sys res ~src ~dst ~r_arr ~max_extra =
     let blocked = ref 0 in
     let probe ~channel ~rslot =
       let free = Resource.free_at res ~channel ~rslot in
+      (match plog with
+      | Some l ->
+          if free then l.pr_free <- (channel, rslot) :: l.pr_free
+          else l.pr_blocked <- (channel, rslot) :: l.pr_blocked
+      | None -> ());
       if not free then begin
         incr blocked;
         blocked_hop ctx ~channel
@@ -128,12 +147,20 @@ let search ?(obs = Sink.null) ?ctx sys res ~src ~dst ~r_arr ~max_extra =
 type frozen_log = {
   mutable fl_free : (int * int) list;  (* free-probed (channel, rslot) *)
   mutable fl_blocked : int list;  (* blocked-probe channels, newest first *)
+  mutable fl_blocked_slots : (int * int) list;
+      (* blocked probes with their slots, for exact-replay ledger entries *)
   mutable fl_expanded : int;
   mutable fl_entered : bool;  (* BFS body ran (src <> dst) *)
 }
 
 let frozen_log () =
-  { fl_free = []; fl_blocked = []; fl_expanded = 0; fl_entered = false }
+  {
+    fl_free = [];
+    fl_blocked = [];
+    fl_blocked_slots = [];
+    fl_expanded = 0;
+    fl_entered = false;
+  }
 
 let overlay_count overlay ~channel ~rslot =
   Option.value ~default:0 (Hashtbl.find_opt overlay (channel, rslot))
@@ -154,11 +181,17 @@ let search_frozen ?ctx sys res ~overlay ~local_history ~local_total ~log ~src
       if free then log.fl_free <- (channel, rslot) :: log.fl_free
       else begin
         log.fl_blocked <- channel :: log.fl_blocked;
-        if ctx <> None then begin
-          Hashtbl.replace local_history channel
-            (1 + Option.value ~default:0 (Hashtbl.find_opt local_history channel));
-          incr local_total
-        end
+        log.fl_blocked_slots <- (channel, rslot) :: log.fl_blocked_slots;
+        (* Exact contexts freeze history (see Reroute.bump_history); the
+           link-local mirror must stay frozen too or the speculative
+           channel ordering would diverge from the sequential pass. *)
+        match ctx with
+        | Some c when not (Reroute.is_exact c) ->
+            Hashtbl.replace local_history channel
+              (1
+              + Option.value ~default:0 (Hashtbl.find_opt local_history channel));
+            incr local_total
+        | Some _ | None -> ()
       end;
       free
     in

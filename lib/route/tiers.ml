@@ -107,6 +107,27 @@ let transport_key dir (l : Link.t) dom =
     k_domain = (match dom with Some d -> Ids.Dom.to_int d | None -> -1);
   }
 
+(* Can a ledger entry be replayed without a search?  Ordinary contexts
+   demand the anchor and the remembered slots; exact contexts additionally
+   demand the recording search's whole probe transcript to resolve
+   identically (every free probe still free, every blocked probe still
+   blocked), which proves the skipped BFS would have returned exactly
+   [e_hops] — the bit-identity obligation of delta compilation.  [free] is
+   the caller's reservation probe (live table, or overlay-aware). *)
+let replayable ctx e ~r_arr ~free =
+  e.Reroute.e_anchor = r_arr
+  &&
+  if Reroute.is_exact ctx then
+    match e.Reroute.e_probes with
+    | None -> false
+    | Some (pf, pb) ->
+        List.for_all (fun (channel, rslot) -> free ~channel ~rslot) pf
+        && List.for_all
+             (fun (channel, rslot) -> not (free ~channel ~rslot))
+             pb
+  else
+    List.for_all (fun (channel, rslot) -> free ~channel ~rslot) e.Reroute.e_hops
+
 let schedule placement dom_analysis ?analysis ?(options = default_options)
     ?(obs = Sink.null) ?reroute ?(jobs = 1) () =
   Sink.span obs ~args:[ ("mode", mode_name options.mode) ] "tiers"
@@ -249,8 +270,19 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
      unroutable set and everything routable lands in the ledger for the
      next (warm) attempt. *)
   let searched_transport ctx (l : Link.t) dom r_arr =
+    let plog =
+      match ctx with
+      | Some c when Reroute.is_exact c -> Some (Pathfind.probe_log ())
+      | Some _ | None -> None
+    in
+    let probes () =
+      Option.map
+        (fun (pl : Pathfind.probe_log) ->
+          (pl.Pathfind.pr_free, pl.Pathfind.pr_blocked))
+        plog
+    in
     match
-      Pathfind.search ~obs ?ctx sys res ~src:l.Link.src_fpga
+      Pathfind.search ~obs ?ctx ?probe:plog sys res ~src:l.Link.src_fpga
         ~dst:l.Link.dst_fpga ~r_arr ~max_extra:options.max_extra_slots
     with
     | Some p ->
@@ -262,6 +294,7 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
                 Reroute.e_anchor = r_arr;
                 e_len = p.Pathfind.p_len;
                 e_hops = p.Pathfind.p_hops;
+                e_probes = probes ();
               })
           ctx;
         {
@@ -297,13 +330,11 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
         let key = transport_key Reroute.Rev l dom in
         match Reroute.lookup ctx key with
         | Some e
-          when e.Reroute.e_anchor = r_arr
-               && List.for_all
-                    (fun (channel, rslot) ->
-                      Resource.free_at res ~channel ~rslot)
-                    e.Reroute.e_hops ->
-            (* Warm replay: same requirement, slots still free — reserve
-               the remembered path without searching. *)
+          when replayable ctx e ~r_arr ~free:(fun ~channel ~rslot ->
+                   Resource.free_at res ~channel ~rslot) ->
+            (* Warm replay: same requirement, slots still free (and under
+               an exact context, the whole probe transcript unchanged) —
+               reserve the remembered path without searching. *)
             List.iter
               (fun (channel, rslot) -> Resource.reserve res ~channel ~rslot)
               e.Reroute.e_hops;
@@ -484,12 +515,9 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
             | Some ctx -> (
                 match Reroute.lookup ctx (transport_key Reroute.Rev l dom) with
                 | Some e
-                  when e.Reroute.e_anchor = r_arr
-                       && List.for_all
-                            (fun (channel, rslot) ->
-                              Pathfind.overlay_free res overlay ~channel
-                                ~rslot)
-                            e.Reroute.e_hops ->
+                  when replayable ctx e ~r_arr ~free:(fun ~channel ~rslot ->
+                           Pathfind.overlay_free res overlay ~channel ~rslot)
+                  ->
                     overlay_add overlay e.Reroute.e_hops;
                     St_warm e
                 | Some _ -> frozen_search Br_ripped
@@ -519,9 +547,7 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
         let transport_ok (_, st) =
           match st with
           | St_warm e ->
-              List.for_all
-                (fun (channel, rslot) -> free ~channel ~rslot)
-                e.Reroute.e_hops
+              replayable (Option.get reroute) e ~r_arr ~free
               && begin
                    overlay_add overlay e.Reroute.e_hops;
                    true
@@ -580,6 +606,12 @@ let schedule placement dom_analysis ?analysis ?(options = default_options)
                                Reroute.e_anchor = r_arr;
                                e_len = p.Pathfind.p_len;
                                e_hops = p.Pathfind.p_hops;
+                               e_probes =
+                                 (if Reroute.is_exact c then
+                                    Some
+                                      ( st_log.Pathfind.fl_free,
+                                        st_log.Pathfind.fl_blocked_slots )
+                                  else None);
                              })
                          reroute;
                        {

@@ -33,19 +33,19 @@ let hash_hex s =
     s;
   Printf.sprintf "%016Lx" !h
 
-let fingerprint (o : Msched.Compile.options) =
-  Printf.sprintf
-    "mode=%s;extra=%d;pins=%d;weight=%d;pseed=%d;plseed=%d;effort=%d;vhz=%.6g;topo=%s;verify=%b"
-    (Msched_route.Tiers.mode_name o.Msched.Compile.route.Msched_route.Tiers.mode)
-    o.Msched.Compile.route.Msched_route.Tiers.max_extra_slots
-    o.Msched.Compile.pins_per_fpga o.Msched.Compile.max_block_weight
-    o.Msched.Compile.partition_seed o.Msched.Compile.place_seed
-    o.Msched.Compile.place_effort o.Msched.Compile.vclock_hz
-    (Format.asprintf "%a" Msched_arch.Topology.pp_kind
-       o.Msched.Compile.topology_kind)
-    o.Msched.Compile.verify
+let fingerprint = Msched.Compile.options_fingerprint
 
-let key ~text ~options = hash_hex (fingerprint options ^ "\n" ^ text)
+(* Keys hash the {e canonical} serial text when the design parses:
+   whitespace, comments and file-local net numbering no longer split one
+   design across several cache entries.  Unparseable text (which the
+   compile path will reject anyway) keys on its raw bytes. *)
+let key ~text ~options =
+  let text =
+    match Msched_netlist.Serial.canonical text with
+    | Ok canonical -> canonical
+    | Error _ -> text
+  in
+  hash_hex (fingerprint options ^ "\n" ^ text)
 
 let file ~dir ~key = Filename.concat dir ("reroute-" ^ key ^ ".json")
 
@@ -94,8 +94,7 @@ let load ~dir ~key =
               (Diag.warning Diag.E_CACHE
                  "warm-route cache %s corrupt (%s); starting cold" path msg))
 
-let store ~dir ~key ctx =
-  let path = file ~dir ~key in
+let write_atomic ~path payload =
   (* pid + domain id: unique per writer even when several processes (each
      with a domain 0) share the directory — two writers can never clobber
      each other's temp file, and rename keeps the entry itself atomic. *)
@@ -110,7 +109,6 @@ let store ~dir ~key ctx =
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        let payload = Reroute.to_json_string ctx ^ "\n" in
         let n = String.length payload in
         let written = ref 0 in
         while !written < n do
@@ -137,12 +135,89 @@ let store ~dir ~key ctx =
         (Diag.warning Diag.E_CACHE "could not persist warm-route cache %s: %s"
            path msg)
 
+let store ~dir ~key ctx =
+  write_atomic ~path:(file ~dir ~key) (Reroute.to_json_string ctx ^ "\n")
+
+(* ---- Block-granular delta-manifest entries. ----
+
+   A manifest is stored as a header file plus one ledger slice per block,
+   so LRU eviction can shed cold slices without killing the manifest.  A
+   missing or corrupt slice degrades that block's entries to cold
+   (counted, E_CACHE-warned); a missing or corrupt header is the whole
+   manifest gone. *)
+
+module Manifest = Msched_delta.Manifest
+
+let manifest_file ~dir ~key = Filename.concat dir ("manifest-" ^ key ^ ".json")
+
+let block_file ~dir ~key ~block =
+  Filename.concat dir (Printf.sprintf "block-%s-%d.json" key block)
+
+let store_manifest ~dir ~key m =
+  let ( let* ) = Result.bind in
+  let* () =
+    write_atomic ~path:(manifest_file ~dir ~key) (Manifest.header_json m ^ "\n")
+  in
+  let rec blocks b =
+    if b >= m.Manifest.num_blocks then Ok ()
+    else
+      let* () =
+        write_atomic
+          ~path:(block_file ~dir ~key ~block:b)
+          (Manifest.slice_json m ~block:b ^ "\n")
+      in
+      blocks (b + 1)
+  in
+  blocks 0
+
+type manifest_load =
+  | M_miss
+  | M_hit of Manifest.t * int
+      (* manifest (ledger = surviving slices), evicted/corrupt slice count *)
+  | M_corrupt of Diag.t
+
+let load_manifest ~dir ~key =
+  let path = manifest_file ~dir ~key in
+  if not (Sys.file_exists path) then M_miss
+  else
+    match read_file path with
+    | exception Sys_error msg ->
+        M_corrupt
+          (Diag.warning Diag.E_CACHE
+             "delta manifest %s unreadable (%s); compiling cold" path msg)
+    | text -> (
+        match Manifest.header_of_json_string text with
+        | Error msg ->
+            M_corrupt
+              (Diag.warning Diag.E_CACHE
+                 "delta manifest %s corrupt (%s); compiling cold" path msg)
+        | Ok header ->
+            touch path;
+            let missing = ref 0 in
+            let slices = ref [] in
+            for b = 0 to header.Manifest.num_blocks - 1 do
+              let bpath = block_file ~dir ~key ~block:b in
+              match read_file bpath with
+              | exception Sys_error _ -> incr missing
+              | btext -> (
+                  match Manifest.slice_of_json_string btext with
+                  | Ok slice ->
+                      touch bpath;
+                      slices := slice :: !slices
+                  | Error _ -> incr missing)
+            done;
+            M_hit (Manifest.with_slices header !slices, !missing))
+
 (* ---- Hygiene: stats, locking, LRU-by-mtime eviction. ---- *)
 
+let has_prefix p name =
+  String.length name > String.length p + String.length ".json"
+  && String.sub name 0 (String.length p) = p
+
 let is_entry name =
-  String.length name > String.length "reroute-.json"
-  && String.sub name 0 8 = "reroute-"
-  && Filename.check_suffix name ".json"
+  Filename.check_suffix name ".json"
+  && (has_prefix "reroute-" name || has_prefix "manifest-" name
+    || has_prefix "block-" name)
 
 (* Entries with their size and mtime; files that vanish mid-scan (another
    worker's rename or eviction) are skipped, not errors. *)
@@ -161,6 +236,8 @@ let scan dir =
 
 type stats = {
   st_entries : int;
+  st_manifests : int;
+  st_blocks : int;
   st_bytes : int;
   st_oldest_s : float;  (** Age in seconds of the least-recently-used entry. *)
 }
@@ -169,13 +246,23 @@ let stats ~dir =
   let entries = scan dir in
   let now = Unix.gettimeofday () in
   List.fold_left
-    (fun acc (_, size, mtime) ->
+    (fun acc (path, size, mtime) ->
+      let name = Filename.basename path in
       {
         st_entries = acc.st_entries + 1;
+        st_manifests =
+          (acc.st_manifests + if has_prefix "manifest-" name then 1 else 0);
+        st_blocks = (acc.st_blocks + if has_prefix "block-" name then 1 else 0);
         st_bytes = acc.st_bytes + size;
         st_oldest_s = Float.max acc.st_oldest_s (now -. mtime);
       })
-    { st_entries = 0; st_bytes = 0; st_oldest_s = 0.0 }
+    {
+      st_entries = 0;
+      st_manifests = 0;
+      st_blocks = 0;
+      st_bytes = 0;
+      st_oldest_s = 0.0;
+    }
     entries
 
 let lock_path dir = Filename.concat dir ".msched-cache.lock"
@@ -197,9 +284,20 @@ let with_lock ~dir f =
 type gc_result = {
   gc_scanned : int;
   gc_evicted : int;
+  gc_orphans : int;
   gc_bytes_before : int;
   gc_bytes_after : int;
 }
+
+(* The manifest key a block slice belongs to: block-<key>-<n>.json. *)
+let block_owner name =
+  if not (has_prefix "block-" name) then None
+  else
+    let stem = Filename.chop_suffix name ".json" in
+    match String.rindex_opt stem '-' with
+    | Some i when i > String.length "block-" ->
+        Some (String.sub stem 6 (i - 6))
+    | _ -> None
 
 let gc ~dir ~max_bytes =
   with_lock ~dir (fun () ->
@@ -225,9 +323,36 @@ let gc ~dir ~max_bytes =
               | exception Sys_error _ -> (evicted, bytes))
           (0, total) by_age
       in
+      (* Orphan sweep: evicting a manifest header makes its surviving
+         slices unreachable (loads go through the header), so they are
+         dead bytes — collect them now rather than waiting for LRU age.
+         The reverse is fine as-is: a manifest with evicted slices still
+         loads and degrades those blocks to cold. *)
+      let survivors = scan dir in
+      let live_manifest = Hashtbl.create 16 in
+      List.iter
+        (fun (path, _, _) ->
+          let name = Filename.basename path in
+          if has_prefix "manifest-" name then
+            Hashtbl.replace live_manifest
+              (String.sub name 9 (String.length name - 9 - 5))
+              ())
+        survivors;
+      let orphans, bytes_after =
+        List.fold_left
+          (fun (orphans, bytes) (path, size, _) ->
+            match block_owner (Filename.basename path) with
+            | Some owner when not (Hashtbl.mem live_manifest owner) -> (
+                match Sys.remove path with
+                | () -> (orphans + 1, bytes - size)
+                | exception Sys_error _ -> (orphans, bytes))
+            | _ -> (orphans, bytes))
+          (0, bytes_after) survivors
+      in
       {
         gc_scanned = List.length entries;
         gc_evicted = evicted;
+        gc_orphans = orphans;
         gc_bytes_before = total;
         gc_bytes_after = bytes_after;
       })

@@ -11,10 +11,15 @@ val hash_hex : string -> string
 (** FNV-1a 64-bit, as 16 lowercase hex digits. *)
 
 val fingerprint : Msched.Compile.options -> string
-(** The option fields that change routing results; part of the cache key
-    so stale contexts are never replayed against different options. *)
+(** {!Msched.Compile.options_fingerprint}: the option fields that change
+    routing results; part of the cache key so stale contexts are never
+    replayed against different options. *)
 
 val key : text:string -> options:Msched.Compile.options -> string
+(** Content hash of the {e canonical} serial form of [text] (when it
+    parses — whitespace, comments and file-local net numbering do not
+    split cache entries) plus the options fingerprint. *)
+
 val file : dir:string -> key:string -> string
 
 val ensure_dir : string -> unit
@@ -41,6 +46,35 @@ val store :
     temp file but never a partially-written entry.  [Error] carries an
     E_CACHE warning; persisting is best-effort and never fails a job. *)
 
+(** {2 Block-granular delta-manifest entries}
+
+    A {!Msched_delta.Manifest.t} is stored as [manifest-<key>.json] (the
+    header: shape, fingerprints, boundary signatures) plus one
+    [block-<key>-<n>.json] ledger slice per block, all atomic like
+    {!store}.  Slices evict independently under {!gc}: a manifest whose
+    slices were evicted still loads — the missing blocks' ledger entries
+    just compile cold — while a missing or corrupt header is a full miss
+    ([M_corrupt] carries the E_CACHE warning). *)
+
+val manifest_file : dir:string -> key:string -> string
+val block_file : dir:string -> key:string -> block:int -> string
+
+val store_manifest :
+  dir:string ->
+  key:string ->
+  Msched_delta.Manifest.t ->
+  (unit, Msched_diag.Diag.t) result
+
+type manifest_load =
+  | M_miss
+  | M_hit of Msched_delta.Manifest.t * int
+      (** The reassembled manifest and the number of evicted or corrupt
+          block slices it is missing (0 = fully warm). *)
+  | M_corrupt of Msched_diag.Diag.t
+
+val load_manifest : dir:string -> key:string -> manifest_load
+(** Touches every file it reads (LRU). *)
+
 (** {2 Hygiene: stats, locking, LRU eviction}
 
     A long-lived serve process grows the cache without bound unless capped.
@@ -50,7 +84,10 @@ val store :
     [msched cache gc]) never double-delete. *)
 
 type stats = {
-  st_entries : int;  (** Cache entries ([reroute-*.json] files). *)
+  st_entries : int;
+      (** All cache entries ([reroute-*] / [manifest-*] / [block-*]). *)
+  st_manifests : int;  (** Manifest headers among them. *)
+  st_blocks : int;  (** Block ledger slices among them. *)
   st_bytes : int;  (** Total bytes across entries. *)
   st_oldest_s : float;
       (** Age in seconds of the least-recently-used entry; [0.] when
@@ -69,11 +106,17 @@ val with_lock : dir:string -> (unit -> 'a) -> 'a
 type gc_result = {
   gc_scanned : int;
   gc_evicted : int;
+  gc_orphans : int;
+      (** Block slices deleted because their manifest header was evicted
+          (they are unreachable: loads go through the header). *)
   gc_bytes_before : int;
   gc_bytes_after : int;
 }
 
 val gc : dir:string -> max_bytes:int -> gc_result
 (** Evict entries oldest-mtime-first (deterministic path tie-break) until
-    total entry bytes fit [max_bytes], under {!with_lock}.  Entries that
-    vanish mid-scan are skipped; the lock file itself is never evicted. *)
+    total entry bytes fit [max_bytes], then sweep orphaned block slices,
+    all under {!with_lock}.  Entries that vanish mid-scan are skipped; the
+    lock file itself is never evicted.  Eviction never strands a manifest:
+    a header that survives with missing slices still loads, degrading the
+    missing blocks to cold with an E_CACHE accounting. *)

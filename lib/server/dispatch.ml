@@ -22,6 +22,13 @@
      dead domain and spawns a replacement, so one poisoned request never
      costs a worker slot.
 
+   - Fairness: tickets queue into per-client lanes drained round-robin,
+     so a client that floods the queue cannot starve the others — each
+     admitted client gets one job per rotation regardless of how deep its
+     own lane is.  The bound and the overload policy still apply to the
+     queue as a whole (a flooder fills it and sheds {e itself} first,
+     since its lane holds almost all of the queued tickets).
+
    - Shutdown: [drain] stops accepting, finishes everything queued and
      running, then joins the workers.  [abort] stops accepting, answers
      queued requests with E_OVERLOAD, raises the [stopping] flag that
@@ -74,6 +81,7 @@ type ticket_state =
 
 type ('job, 'res) ticket = {
   k_id : int;
+  k_client : int;  (** Fairness lane (connection id; 0 = anonymous). *)
   k_job : 'job;
   mutable k_state : ticket_state;
   mutable k_cell : 'res outcome option;
@@ -102,6 +110,7 @@ type counters = {
   c_inflight : int;
   c_peak_queue_depth : int;
   c_peak_inflight : int;
+  c_peak_lanes : int;  (** Most distinct clients queued at once. *)
 }
 
 type ('job, 'res) t = {
@@ -109,7 +118,11 @@ type ('job, 'res) t = {
   run : stopping:(unit -> bool) -> 'job -> 'res;
   lock : Mutex.t;
   cond : Condition.t;  (** Workers wait here for work. *)
-  work : ('job, 'res) ticket Queue.t;
+  lanes : (int, ('job, 'res) ticket Queue.t) Hashtbl.t;
+      (** Per-client FIFO lanes; a lane exists iff it is non-empty. *)
+  rr : int Queue.t;
+      (** Round-robin rotation: each client with a non-empty lane appears
+          exactly once; popping a job sends the client to the tail. *)
   slots : ('job, 'res) worker option array;
   mutable zombies : ('job, 'res) worker list;
       (** Replaced hung workers, joined by the monitor if they ever exit. *)
@@ -129,6 +142,7 @@ type ('job, 'res) t = {
   mutable n_inflight : int;
   mutable peak_queue : int;
   mutable peak_inflight : int;
+  mutable peak_lanes : int;
   sink : Sink.t option;
   extra_gauges : (string * (unit -> float)) list;
   mutable monitor : Thread.t option;
@@ -144,12 +158,42 @@ let locked t f =
 let current t w =
   match t.slots.(w.w_slot) with Some w' -> w' == w | None -> false
 
-(* Pop the next live ticket; cancelled (deadline) and pre-answered
-   (abort) tickets are discarded.  Lock held. *)
+(* Pop the next live ticket round-robin across client lanes; cancelled
+   (deadline) and pre-answered (abort) tickets are discarded.  Invariant:
+   a client id sits in [rr] exactly once iff its lane is non-empty.  Lock
+   held. *)
 let rec pop_live t =
-  match Queue.take_opt t.work with
+  match Queue.take_opt t.rr with
   | None -> None
-  | Some k -> ( match k.k_state with Queued -> Some k | _ -> pop_live t)
+  | Some client -> (
+      match Hashtbl.find_opt t.lanes client with
+      | None -> pop_live t
+      | Some lane ->
+          let rec next () =
+            match Queue.take_opt lane with
+            | None -> None
+            | Some k -> ( match k.k_state with Queued -> Some k | _ -> next ())
+          in
+          let found = next () in
+          if Queue.is_empty lane then Hashtbl.remove t.lanes client
+          else Queue.add client t.rr;
+          (match found with Some _ as s -> s | None -> pop_live t))
+
+(* Append a ticket to its client's lane, creating the lane (and its
+   rotation slot) on first use.  Lock held. *)
+let push_lane t k =
+  let lane =
+    match Hashtbl.find_opt t.lanes k.k_client with
+    | Some lane -> lane
+    | None ->
+        let lane = Queue.create () in
+        Hashtbl.add t.lanes k.k_client lane;
+        Queue.add k.k_client t.rr;
+        let n = Hashtbl.length t.lanes in
+        if n > t.peak_lanes then t.peak_lanes <- n;
+        lane
+  in
+  Queue.add k lane
 
 let take t w =
   locked t (fun () ->
@@ -249,6 +293,8 @@ let sample_gauges t =
               ("server.inflight", float_of_int t.n_inflight);
               ("server.peak_queue_depth", float_of_int t.peak_queue);
               ("server.peak_inflight", float_of_int t.peak_inflight);
+              ("server.client_lanes", float_of_int (Hashtbl.length t.lanes));
+              ("server.peak_client_lanes", float_of_int t.peak_lanes);
               ("server.timeouts", float_of_int t.n_timed_out);
               ("server.rejected", float_of_int t.n_rejected);
               ("server.crashes", float_of_int t.n_crashed);
@@ -326,7 +372,8 @@ let create ?sink ?(gauges = []) cfg run =
       run;
       lock = Mutex.create ();
       cond = Condition.create ();
-      work = Queue.create ();
+      lanes = Hashtbl.create 16;
+      rr = Queue.create ();
       slots = Array.make cfg.d_workers None;
       zombies = [];
       accepting = true;
@@ -345,6 +392,7 @@ let create ?sink ?(gauges = []) cfg run =
       n_inflight = 0;
       peak_queue = 0;
       peak_inflight = 0;
+      peak_lanes = 0;
       sink;
       extra_gauges = gauges;
       monitor = None;
@@ -361,7 +409,7 @@ let create ?sink ?(gauges = []) cfg run =
 let overload_diag fmt = Diag.error Diag.E_OVERLOAD fmt
 let timeout_diag fmt = Diag.error Diag.E_TIMEOUT fmt
 
-let submit ?deadline_s t job =
+let submit ?(client = 0) ?deadline_s t job =
   let deadline_s =
     match deadline_s with Some _ as d -> d | None -> t.cfg.d_deadline_s
   in
@@ -414,11 +462,17 @@ let submit ?deadline_s t job =
       outcome
   | Ok () ->
       let k =
-        { k_id = t.next_id; k_job = job; k_state = Queued; k_cell = None }
+        {
+          k_id = t.next_id;
+          k_client = client;
+          k_job = job;
+          k_state = Queued;
+          k_cell = None;
+        }
       in
       t.next_id <- t.next_id + 1;
       t.n_submitted <- t.n_submitted + 1;
-      Queue.add k t.work;
+      push_lane t k;
       t.q_live <- t.q_live + 1;
       if t.q_live > t.peak_queue then t.peak_queue <- t.q_live;
       Condition.signal t.cond;
@@ -483,6 +537,7 @@ let counters t =
         c_inflight = t.n_inflight;
         c_peak_queue_depth = t.peak_queue;
         c_peak_inflight = t.peak_inflight;
+        c_peak_lanes = t.peak_lanes;
       })
 
 let accepting t = locked t (fun () -> t.accepting)
@@ -573,19 +628,22 @@ let abort ?(timeout_s = 2.0) t =
       t.stopping <- true;
       (* Everything still queued is answered now; no worker will start
          it. *)
-      Queue.iter
-        (fun k ->
-          if k.k_state = Queued then begin
-            k.k_state <- Finished;
-            k.k_cell <-
-              Some
-                (Rejected
-                   (overload_diag
-                      "server aborted before request %d started" k.k_id));
-            t.q_live <- t.q_live - 1;
-            t.n_rejected <- t.n_rejected + 1
-          end)
-        t.work;
+      Hashtbl.iter
+        (fun _client lane ->
+          Queue.iter
+            (fun k ->
+              if k.k_state = Queued then begin
+                k.k_state <- Finished;
+                k.k_cell <-
+                  Some
+                    (Rejected
+                       (overload_diag
+                          "server aborted before request %d started" k.k_id));
+                t.q_live <- t.q_live - 1;
+                t.n_rejected <- t.n_rejected + 1
+              end)
+            lane)
+        t.lanes;
       Condition.broadcast t.cond);
   let clean = wait_workers t timeout_s in
   settle_orphans t;

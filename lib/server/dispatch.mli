@@ -67,10 +67,18 @@ val create :
     [server.*] gauges (e.g. cache eviction counts owned by the transport
     layer), keeping the sink single-writer. *)
 
-val submit : ?deadline_s:float -> ('job, 'res) t -> 'job -> 'res outcome
+val submit :
+  ?client:int -> ?deadline_s:float -> ('job, 'res) t -> 'job -> 'res outcome
 (** Enqueue and wait for the outcome (blocks the calling thread).
     [deadline_s] overrides the config default; [None] means wait forever.
-    Safe to call from many threads concurrently. *)
+    Safe to call from many threads concurrently.
+
+    [client] (default 0) names the fairness lane: tickets queue per
+    client and workers drain the lanes round-robin, so one client
+    flooding the queue cannot starve the others — each queued client
+    gets one job per rotation.  The transport passes its connection id
+    here; the queue bound and overload policy apply across all lanes
+    combined. *)
 
 val accepting : ('job, 'res) t -> bool
 
@@ -87,6 +95,7 @@ type counters = {
   c_inflight : int;
   c_peak_queue_depth : int;
   c_peak_inflight : int;
+  c_peak_lanes : int;  (** Most distinct client fairness lanes queued at once. *)
 }
 
 val counters : ('job, 'res) t -> counters

@@ -144,6 +144,223 @@ let run_job settings ~epoch job =
     r_counters = Sink.counters ctx.ctx_obs;
   }
 
+(* ---- Delta jobs ({"op":"delta"}): compile against a cached base
+   manifest (docs/DELTA.md), replaying every transport the edit provably
+   did not touch.  The updated manifest is stored back under the design's
+   own content key, which the response announces — a client threads that
+   key into its next edit's request to stay warm across the whole
+   edit-compile-check loop. *)
+
+module Schedule = Msched_route.Schedule
+
+type base_status =
+  | Base_none  (** No base requested: cold base compile. *)
+  | Base_warm of int  (** Manifest loaded; [n] block slices missing. *)
+  | Base_miss  (** Key given, no manifest under it (evicted or never stored). *)
+  | Base_corrupt  (** Header failed its checksum; E_CACHE diag carried. *)
+  | Base_off  (** Base requested but the server runs without --cache-dir. *)
+
+let base_status_name = function
+  | Base_none -> "none"
+  | Base_warm _ -> "warm"
+  | Base_miss -> "miss"
+  | Base_corrupt -> "corrupt"
+  | Base_off -> "off"
+
+type delta_request = {
+  dq_path : string;  (** Display name. *)
+  dq_text : string;  (** Netlist text of the {e edited} design. *)
+  dq_base : string option;  (** Manifest key from a previous response. *)
+}
+
+type delta_outcome = {
+  do_blocks_clean : int;
+  do_blocks_dirty : int;
+  do_cone : int;
+  do_reused : int;
+  do_ripped : int;
+  do_fresh : int;
+  do_expansions : int;  (** Pathfinder states popped — the warm cost. *)
+  do_reuse_fraction : float;
+  do_cold_fallback : bool;
+      (** A base was loaded but the compile fell cold (foreign options
+          fingerprint or block-count mismatch). *)
+  do_schedule_fp : string;
+      (** Content hash of the schedule JSON: equal fp = byte-identical
+          schedule, the warm≡cold witness a client can assert. *)
+  do_length : int;
+  do_est_speed_hz : float;
+}
+
+type delta_result = {
+  dr_request : delta_request;
+  dr_key : string;  (** Manifest key for this design ([""] cache off). *)
+  dr_base : base_status;
+  dr_outcome : delta_outcome option;  (** [None]: parse/compile failure. *)
+  dr_diags : Diag.t list;
+  dr_exit : int;
+}
+
+let run_delta settings req =
+  let report = Diag.Report.create () in
+  let options = { settings.s_options with Compile.obs = Sink.null } in
+  let key =
+    match settings.s_cache_dir with
+    | None -> ""
+    | Some _ -> Cache.key ~text:req.dq_text ~options
+  in
+  let fail base =
+    {
+      dr_request = req;
+      dr_key = key;
+      dr_base = base;
+      dr_outcome = None;
+      dr_diags = Diag.Report.to_list report;
+      dr_exit = Diag.Report.exit_code report;
+    }
+  in
+  let base, manifest =
+    match (req.dq_base, settings.s_cache_dir) with
+    | None, _ -> (Base_none, None)
+    | Some _, None -> (Base_off, None)
+    | Some bkey, Some dir -> (
+        match Cache.load_manifest ~dir ~key:bkey with
+        | Cache.M_miss -> (Base_miss, None)
+        | Cache.M_corrupt d ->
+            Diag.Report.add report d;
+            (Base_corrupt, None)
+        | Cache.M_hit (m, missing) -> (Base_warm missing, Some m))
+  in
+  match Serial.of_string_diag req.dq_text with
+  | Error diags ->
+      Diag.Report.add_list report diags;
+      fail base
+  | Ok nl -> (
+      match
+        match manifest with
+        | Some m ->
+            let d = Compile.compile_delta ~options ~manifest:m nl in
+            ( d.Compile.delta_compiled,
+              d.Compile.delta_manifest,
+              Some d )
+        | None ->
+            let b = Compile.compile_base ~options nl in
+            (b.Compile.base_compiled, b.Compile.base_manifest, None)
+      with
+      | exception e ->
+          Diag.Report.add report (Compile.diag_of_exn e);
+          fail base
+      | compiled, manifest', delta ->
+          (match settings.s_cache_dir with
+          | Some dir -> (
+              match Cache.store_manifest ~dir ~key manifest' with
+              | Ok () -> ()
+              | Error d -> Diag.Report.add report d)
+          | None -> ());
+          let sched = compiled.Compile.schedule in
+          let outcome =
+            match delta with
+            | Some d ->
+                {
+                  do_blocks_clean =
+                    (match d.Compile.delta_diff with
+                    | Some diff -> Msched_delta.Diff.clean_count diff
+                    | None -> 0);
+                  do_blocks_dirty =
+                    (match d.Compile.delta_diff with
+                    | Some diff -> Msched_delta.Diff.dirty_count diff
+                    | None -> 0);
+                  do_cone =
+                    (match d.Compile.delta_diff with
+                    | Some diff -> Msched_delta.Diff.cone_size diff
+                    | None -> 0);
+                  do_reused = d.Compile.delta_reused;
+                  do_ripped = d.Compile.delta_ripped;
+                  do_fresh = d.Compile.delta_fresh;
+                  do_expansions = d.Compile.delta_expansions;
+                  do_reuse_fraction = Compile.delta_reuse_fraction d;
+                  do_cold_fallback = d.Compile.delta_diff = None;
+                  do_schedule_fp =
+                    Cache.hash_hex (Schedule.to_json_string sched);
+                  do_length = sched.Schedule.length;
+                  do_est_speed_hz = Schedule.est_speed_hz sched;
+                }
+            | None ->
+                {
+                  do_blocks_clean = 0;
+                  do_blocks_dirty = 0;
+                  do_cone = 0;
+                  do_reused = 0;
+                  do_ripped = 0;
+                  (* A base compile routes everything fresh; the manifest's
+                     ledger is the count of transports it proved. *)
+                  do_fresh =
+                    List.length
+                      manifest'.Msched_delta.Manifest.entries;
+                  do_expansions = 0;
+                  do_reuse_fraction = 0.0;
+                  do_cold_fallback = false;
+                  do_schedule_fp =
+                    Cache.hash_hex (Schedule.to_json_string sched);
+                  do_length = sched.Schedule.length;
+                  do_est_speed_hz = Schedule.est_speed_hz sched;
+                }
+          in
+          {
+            dr_request = req;
+            dr_key = key;
+            dr_base = base;
+            dr_outcome = Some outcome;
+            dr_diags = Diag.Report.to_list report;
+            dr_exit = Diag.Report.exit_code report;
+          })
+
+let delta_record_json r =
+  let module J = Diag.Json in
+  let b = Buffer.create 1024 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  J.field b ~first "schema" (J.string "msched-delta-1");
+  J.field b ~first "design" (J.string r.dr_request.dq_path);
+  if r.dr_key <> "" then J.field b ~first "key" (J.string r.dr_key);
+  J.field b ~first "base" (J.string (base_status_name r.dr_base));
+  (match r.dr_base with
+  | Base_warm missing ->
+      J.field b ~first "base_missing_blocks" (string_of_int missing)
+  | _ -> ());
+  J.field b ~first "exit_code" (string_of_int r.dr_exit);
+  let diags = Buffer.create 256 in
+  let rep = Diag.Report.create () in
+  Diag.Report.add_list rep r.dr_diags;
+  Diag.Report.to_json_buf diags rep;
+  J.field b ~first "diagnostics" (Buffer.contents diags);
+  J.field b ~first "delta"
+    (match r.dr_outcome with
+    | None -> "null"
+    | Some o ->
+        let db = Buffer.create 512 in
+        let df = ref true in
+        Buffer.add_char db '{';
+        J.field db ~first:df "blocks_clean" (string_of_int o.do_blocks_clean);
+        J.field db ~first:df "blocks_dirty" (string_of_int o.do_blocks_dirty);
+        J.field db ~first:df "cone" (string_of_int o.do_cone);
+        J.field db ~first:df "reused" (string_of_int o.do_reused);
+        J.field db ~first:df "ripped" (string_of_int o.do_ripped);
+        J.field db ~first:df "fresh" (string_of_int o.do_fresh);
+        J.field db ~first:df "expansions" (string_of_int o.do_expansions);
+        J.field db ~first:df "reuse_fraction"
+          (Printf.sprintf "%.6g" o.do_reuse_fraction);
+        J.field db ~first:df "cold_fallback"
+          (string_of_bool o.do_cold_fallback);
+        J.field db ~first:df "schedule_fp" (J.string o.do_schedule_fp);
+        J.field db ~first:df "length" (string_of_int o.do_length);
+        J.field db ~first:df "est_speed_hz"
+          (Printf.sprintf "%.6g" o.do_est_speed_hz);
+        Buffer.add_char db '}';
+        Buffer.contents db);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 type batch_result = {
   b_results : job_result array;  (** In job order, always. *)
   b_jobs : int;  (** Worker count actually used. *)

@@ -115,6 +115,64 @@ val error_record : ?id:string -> path:string -> Msched_diag.Diag.t list -> strin
     (parse failure, unreadable file, shed, timed out, worker crash):
     [result] is null, [exit_code] is the first diagnostic's class. *)
 
+(** {2 Delta jobs}
+
+    The [{"op": "delta"}] request (docs/DELTA.md): compile an edited
+    design against the cached manifest of its previous version, replaying
+    every transport the edit provably did not touch.  The updated
+    manifest is stored under the design's own content key, announced in
+    the response so the client can thread it into its next edit. *)
+
+type base_status =
+  | Base_none  (** No base requested: cold base compile. *)
+  | Base_warm of int  (** Manifest loaded; [n] block slices missing. *)
+  | Base_miss  (** Key given, nothing stored under it. *)
+  | Base_corrupt  (** Header failed its checksum; E_CACHE diag carried. *)
+  | Base_off  (** Base requested but the server runs without --cache-dir. *)
+
+val base_status_name : base_status -> string
+
+type delta_request = {
+  dq_path : string;  (** Display name. *)
+  dq_text : string;  (** Netlist text of the {e edited} design. *)
+  dq_base : string option;  (** Manifest key from a previous response. *)
+}
+
+type delta_outcome = {
+  do_blocks_clean : int;
+  do_blocks_dirty : int;
+  do_cone : int;
+  do_reused : int;
+  do_ripped : int;
+  do_fresh : int;
+  do_expansions : int;
+  do_reuse_fraction : float;
+  do_cold_fallback : bool;
+      (** A base was loaded but the compile fell cold (foreign options
+          fingerprint or block-count mismatch). *)
+  do_schedule_fp : string;
+      (** Content hash of the schedule JSON — the warm≡cold witness: a
+          client can assert it equals the cold compile's. *)
+  do_length : int;
+  do_est_speed_hz : float;
+}
+
+type delta_result = {
+  dr_request : delta_request;
+  dr_key : string;  (** Manifest key for this design ([""] cache off). *)
+  dr_base : base_status;
+  dr_outcome : delta_outcome option;  (** [None]: parse/compile failure. *)
+  dr_diags : Msched_diag.Diag.t list;
+  dr_exit : int;
+}
+
+val run_delta : settings -> delta_request -> delta_result
+(** Never raises: pipeline failures are classified into [dr_diags] and
+    [dr_exit], exactly like {!run_job}. *)
+
+val delta_record_json : delta_result -> string
+(** One deterministic [msched-delta-1] object. *)
+
 val serve : settings -> in_channel -> out_channel -> unit
 (** Long-lived loop: one NDJSON request ([{"path": ..., "id"?: ...}] or a
     bare path) per stdin line, one [msched-batch-1] response line each

@@ -7,6 +7,7 @@
      path/to/design.mnl                      bare path
      {"path": "...", "id": "...", "deadline_s": 2.5}
      {"text": "design inline\n...", "id": "..."}
+     {"op": "delta", "path"|"text": ..., "base"?: "<manifest key>"}
      {"op": "shutdown", "mode": "drain"|"abort"}
      poison:sleep=0.25 | poison:hang | poison:crash   (--inject-faults only)
 
@@ -68,6 +69,12 @@ type request =
       q_id : string option;
       q_deadline_s : float option;
     }
+  | Q_delta of {
+      q_source : [ `Path of string | `Text of string ];
+      q_base : string option;  (** Manifest key from a prior response. *)
+      q_id : string option;
+      q_deadline_s : float option;
+    }
   | Q_poison of {
       q_poison : poison;
       q_id : string option;
@@ -122,6 +129,36 @@ let parse_request ~inject_faults line =
             | Some m ->
                 Q_bad
                   (Diag.error Diag.E_PARSE "unknown shutdown mode %S" m))
+        | Some "delta" -> (
+            let base = Option.bind (J.mem "base" doc) J.str in
+            match
+              ( Option.bind (J.mem "path" doc) J.str,
+                Option.bind (J.mem "text" doc) J.str )
+            with
+            | Some path, None ->
+                Q_delta
+                  {
+                    q_source = `Path path;
+                    q_base = base;
+                    q_id = id;
+                    q_deadline_s = deadline;
+                  }
+            | None, Some text ->
+                Q_delta
+                  {
+                    q_source = `Text text;
+                    q_base = base;
+                    q_id = id;
+                    q_deadline_s = deadline;
+                  }
+            | Some _, Some _ ->
+                Q_bad
+                  (Diag.error Diag.E_PARSE
+                     "delta request has both \"path\" and \"text\"")
+            | None, None ->
+                Q_bad
+                  (Diag.error Diag.E_PARSE
+                     "delta request needs a \"path\" or \"text\" member"))
         | Some op -> Q_bad (Diag.error Diag.E_PARSE "unknown op %S" op)
         | None -> (
             match Option.bind (J.mem "poison" doc) J.str with
@@ -162,12 +199,18 @@ let poison_design =
 type payload = {
   p_epoch : float;  (** Submit time; [run_job] derives queue wait from it. *)
   p_label : string;
-  p_work : [ `Job of Server.job | `Poison of poison ];
+  p_work :
+    [ `Job of Server.job | `Delta of Server.delta_request | `Poison of poison ];
 }
+
+(* Compile and delta jobs share the dispatcher, so they share its queue
+   bound, deadlines and fairness lanes; only the response record differs. *)
+type reply = R_record of Server.job_result | R_delta of Server.delta_result
 
 let run_payload settings ~stopping payload =
   match payload.p_work with
-  | `Job job -> Server.run_job settings ~epoch:payload.p_epoch job
+  | `Job job -> R_record (Server.run_job settings ~epoch:payload.p_epoch job)
+  | `Delta req -> R_delta (Server.run_delta settings req)
   | `Poison p ->
       (match p with
       | Crash -> failwith "injected fault: worker crash"
@@ -182,8 +225,9 @@ let run_payload settings ~stopping payload =
           while not (stopping ()) do
             Thread.delay 0.005
           done);
-      Server.run_job settings ~epoch:payload.p_epoch
-        (Server.job_of_text ~index:0 ~path:payload.p_label poison_design)
+      R_record
+        (Server.run_job settings ~epoch:payload.p_epoch
+           (Server.job_of_text ~index:0 ~path:payload.p_label poison_design))
 
 (* ---- Server. ---- *)
 
@@ -216,7 +260,7 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound : address;  (** Actual address (TCP port 0 resolved). *)
-  disp : (payload, Server.job_result) Dispatch.t;
+  disp : (payload, reply) Dispatch.t;
   lock : Mutex.t;
   mutable sessions : Thread.t list;
   (* Counters are refs (not mutable fields) so the gauge probes handed to
@@ -287,7 +331,36 @@ let request_shutdown srv mode =
       | Some `Drain, `Abort -> srv.shutdown <- Some `Abort
       | Some _, _ -> ())
 
-let handle_request srv ss emit line =
+(* Submit one payload into this session's fairness lane and emit its
+   response record; all three job kinds (compile, delta, poison) share
+   this path, so they share backpressure, deadlines and fairness. *)
+let submit_and_emit srv ~client ss emit ~id ~deadline_s payload =
+  match Dispatch.submit ~client ?deadline_s srv.disp payload with
+  | Dispatch.Done (R_record r) ->
+      if r.Server.r_exit = 0 then ss.ss_ok <- ss.ss_ok + 1
+      else ss.ss_errors <- ss.ss_errors + 1;
+      emit (Server.with_id id (Server.record_json r))
+  | Dispatch.Done (R_delta r) ->
+      if r.Server.dr_exit = 0 then ss.ss_ok <- ss.ss_ok + 1
+      else ss.ss_errors <- ss.ss_errors + 1;
+      emit (Server.with_id id (Server.delta_record_json r))
+  | Dispatch.Rejected d | Dispatch.Timed_out d | Dispatch.Crashed d ->
+      ss.ss_errors <- ss.ss_errors + 1;
+      emit (Server.error_record ?id ~path:payload.p_label [ d ])
+
+(* Delta jobs parse their source in the session thread (cheap file read);
+   the compile itself runs on a worker. *)
+let delta_request_of ~source ~base =
+  match source with
+  | `Text text ->
+      Ok { Server.dq_path = "<inline>"; dq_text = text; dq_base = base }
+  | `Path path -> (
+      match Server.job_of_file ~index:0 path with
+      | Ok job ->
+          Ok { Server.dq_path = path; dq_text = job.Server.j_text; dq_base = base }
+      | Error d -> Error d)
+
+let handle_request srv ~client ss emit line =
   match parse_request ~inject_faults:srv.cfg.t_inject_faults line with
   | Q_blank -> ()
   | Q_bad d ->
@@ -297,20 +370,27 @@ let handle_request srv ss emit line =
   | Q_shutdown mode ->
       request_shutdown srv mode;
       emit (ctl_ack_json (match mode with `Drain -> "drain" | `Abort -> "abort"))
-  | Q_poison { q_poison = p; q_id; q_deadline_s } -> (
+  | Q_poison { q_poison = p; q_id; q_deadline_s } ->
       ss.ss_requests <- ss.ss_requests + 1;
       let label = poison_name p in
-      let payload =
+      submit_and_emit srv ~client ss emit ~id:q_id ~deadline_s:q_deadline_s
         { p_epoch = Unix.gettimeofday (); p_label = label; p_work = `Poison p }
-      in
-      match Dispatch.submit ?deadline_s:q_deadline_s srv.disp payload with
-      | Dispatch.Done r ->
-          if r.Server.r_exit = 0 then ss.ss_ok <- ss.ss_ok + 1
-          else ss.ss_errors <- ss.ss_errors + 1;
-          emit (Server.with_id q_id (Server.record_json r))
-      | Dispatch.Rejected d | Dispatch.Timed_out d | Dispatch.Crashed d ->
+  | Q_delta { q_source; q_base; q_id; q_deadline_s } -> (
+      ss.ss_requests <- ss.ss_requests + 1;
+      match delta_request_of ~source:q_source ~base:q_base with
+      | Error d ->
           ss.ss_errors <- ss.ss_errors + 1;
-          emit (Server.error_record ?id:q_id ~path:label [ d ]))
+          let path =
+            match q_source with `Path p -> p | `Text _ -> "<inline>"
+          in
+          emit (Server.error_record ?id:q_id ~path [ d ])
+      | Ok req ->
+          submit_and_emit srv ~client ss emit ~id:q_id ~deadline_s:q_deadline_s
+            {
+              p_epoch = Unix.gettimeofday ();
+              p_label = req.Server.dq_path;
+              p_work = `Delta req;
+            })
   | Q_compile { q_source; q_id; q_deadline_s } -> (
       ss.ss_requests <- ss.ss_requests + 1;
       let job =
@@ -325,25 +405,15 @@ let handle_request srv ss emit line =
             match q_source with `Path p -> p | `Text _ -> "<inline>"
           in
           emit (Server.error_record ?id:q_id ~path [ d ])
-      | Ok job -> (
-          let payload =
+      | Ok job ->
+          submit_and_emit srv ~client ss emit ~id:q_id ~deadline_s:q_deadline_s
             {
               p_epoch = Unix.gettimeofday ();
               p_label = job.Server.j_path;
               p_work = `Job job;
-            }
-          in
-          match Dispatch.submit ?deadline_s:q_deadline_s srv.disp payload with
-          | Dispatch.Done r ->
-              if r.Server.r_exit = 0 then ss.ss_ok <- ss.ss_ok + 1
-              else ss.ss_errors <- ss.ss_errors + 1;
-              emit (Server.with_id q_id (Server.record_json r))
-          | Dispatch.Rejected d | Dispatch.Timed_out d | Dispatch.Crashed d ->
-              ss.ss_errors <- ss.ss_errors + 1;
-              emit
-                (Server.error_record ?id:q_id ~path:job.Server.j_path [ d ])))
+            })
 
-let session_main srv fd =
+let session_main srv ~client fd =
   let t0 = Unix.gettimeofday () in
   let ss = { ss_requests = 0; ss_ok = 0; ss_errors = 0 } in
   let emit line = write_all fd (line ^ "\n") in
@@ -384,7 +454,7 @@ let session_main srv fd =
      let rec loop () =
        match Queue.take_opt lines with
        | Some line ->
-           handle_request srv ss emit line;
+           handle_request srv ~client ss emit line;
            loop ()
        | None ->
            if !eof then begin
@@ -393,7 +463,7 @@ let session_main srv fd =
              if !carry <> "" then begin
                let line = !carry in
                carry := "";
-               handle_request srv ss emit line
+               handle_request srv ~client ss emit line
              end
            end
            else if srv.stop_sessions then ()
@@ -427,10 +497,16 @@ let accept_loop srv =
         | fd, _ ->
             (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
              with Unix.Unix_error _ -> ());
-            let th = Thread.create (session_main srv) fd in
-            locked srv (fun () ->
-                incr srv.n_conns;
-                srv.sessions <- th :: srv.sessions)
+            (* The connection ordinal doubles as the session's fairness
+               lane in the dispatcher (ids start at 1; lane 0 is the
+               anonymous default). *)
+            let client =
+              locked srv (fun () ->
+                  incr srv.n_conns;
+                  !(srv.n_conns))
+            in
+            let th = Thread.create (fun fd -> session_main srv ~client fd) fd in
+            locked srv (fun () -> srv.sessions <- th :: srv.sessions)
         | exception Unix.Unix_error _ -> ())
   done
 

@@ -34,6 +34,14 @@ type request =
       q_id : string option;
       q_deadline_s : float option;
     }
+  | Q_delta of {
+      q_source : [ `Path of string | `Text of string ];
+      q_base : string option;
+          (** Manifest key from a prior response; absent = cold base
+              compile that seeds the cache. *)
+      q_id : string option;
+      q_deadline_s : float option;
+    }  (** [{"op": "delta"}]: incremental compile (docs/DELTA.md). *)
   | Q_poison of {
       q_poison : poison;
       q_id : string option;

@@ -193,7 +193,7 @@ let annotate_lands_on_open_span () =
 let doc ?(par_identical = true) ~span_us ~length ~speed ~clean ~extra_counter
     () =
   Printf.sprintf
-    {|{"schema":"msched-bench-pipeline-6",
+    {|{"schema":"msched-bench-pipeline-7",
        "designs":{"d1":{"schema":"msched-obs-1",
          "spans":[{"id":0,"parent":null,"depth":0,"name":"prepare","begin_us":0,"dur_us":%d,"args":{}}],
          "counters":{"work.items":100%s},

@@ -33,4 +33,5 @@ let () =
       ("par", Test_par.suite);
       ("serve-net", Test_serve_net.suite);
       ("explain", Test_explain.suite);
+      ("delta", Test_delta.suite);
     ]

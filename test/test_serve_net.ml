@@ -593,6 +593,148 @@ let test_cache_gc_under_serve () =
     true
     (stats.Cache.st_bytes <= 512)
 
+(* One worker, three clients with unequal backlogs: completion order must
+   rotate the client lanes round-robin, not drain the flooder first.  A
+   plug job holds the only worker while the lanes fill, so the enqueue
+   order is fully deterministic. *)
+let test_fairness_round_robin () =
+  let released = Atomic.make false in
+  let plug_running = Atomic.make false in
+  let order_mu = Mutex.create () in
+  let order = ref [] in
+  let run ~stopping:_ = function
+    | `Plug ->
+        Atomic.set plug_running true;
+        while not (Atomic.get released) do
+          Thread.delay 0.002
+        done
+    | `Tag client ->
+        Mutex.lock order_mu;
+        order := client :: !order;
+        Mutex.unlock order_mu
+  in
+  let disp =
+    Dispatch.create { Dispatch.default_config with Dispatch.d_workers = 1 } run
+  in
+  let await cond what =
+    let t_end = Unix.gettimeofday () +. 10.0 in
+    while not (cond ()) do
+      if Unix.gettimeofday () > t_end then
+        Alcotest.failf "timed out waiting for %s" what;
+      Thread.delay 0.002
+    done
+  in
+  let submitters = ref [] in
+  let submit_tagged client =
+    let before = (Dispatch.counters disp).Dispatch.c_submitted in
+    let th =
+      Thread.create
+        (fun () ->
+          match Dispatch.submit ~client disp (`Tag client) with
+          | Dispatch.Done () -> ()
+          | _ -> ())
+        ()
+    in
+    submitters := th :: !submitters;
+    (* Serialize enqueue order: the next job is only submitted once this
+       one is counted into its lane. *)
+    await
+      (fun () -> (Dispatch.counters disp).Dispatch.c_submitted > before)
+      "submission"
+  in
+  let plug = Thread.create (fun () -> ignore (Dispatch.submit disp `Plug)) () in
+  await (fun () -> Atomic.get plug_running) "the plug job to start";
+  (* Client 1 floods; clients 2 and 3 trickle. *)
+  List.iter submit_tagged [ 1; 1; 1; 1; 1; 1; 2; 2; 3; 3 ];
+  Alcotest.(check bool) "three lanes seen at once" true
+    ((Dispatch.counters disp).Dispatch.c_peak_lanes >= 3);
+  Atomic.set released true;
+  Thread.join plug;
+  List.iter Thread.join !submitters;
+  Alcotest.(check (list int))
+    "lanes rotate: one job per client per round"
+    [ 1; 2; 3; 1; 2; 3; 1; 1; 1; 1 ]
+    (List.rev !order);
+  ignore (Dispatch.drain disp)
+
+(* The delta op over a real socket: a base compile announces its manifest
+   key, a warm compile against that key reuses transports, and the
+   schedule fingerprint equals the cold compile's — the warm≡cold witness
+   asserted over the wire. *)
+let test_delta_over_socket () =
+  let dir = fresh_dir () in
+  let srv = Transport.start (config ~workers:1 ~cache_dir:dir ()) in
+  let c = connect srv in
+  let base_text = good_text ~seed:931 () in
+  let delta_field k line =
+    Option.bind
+      (Option.bind (Diag.Json.mem "delta" (json line)) (Diag.Json.mem k))
+      Diag.Json.str
+  in
+  let delta_int k line =
+    Option.bind
+      (Option.bind (Diag.Json.mem "delta" (json line)) (Diag.Json.mem k))
+      Diag.Json.int
+  in
+  send c
+    (Printf.sprintf {|{"op":"delta","text":%s,"id":"base"}|}
+       (Diag.Json.string base_text));
+  let r0 = recv_exn c in
+  Alcotest.(check string) "delta record schema" "msched-delta-1" (schema r0);
+  Alcotest.(check int) "base compile succeeds" 0 (exit_code r0);
+  Alcotest.(check (option string)) "no base requested" (Some "none")
+    (str_mem "base" r0);
+  let key =
+    match str_mem "key" r0 with
+    | Some k -> k
+    | None -> Alcotest.fail "base compile announced no manifest key"
+  in
+  let edited =
+    let nl =
+      match Serial.of_string base_text with
+      | Ok nl -> nl
+      | Error m -> Alcotest.failf "base text does not parse: %s" m
+    in
+    let rec scan seed =
+      if seed > 8 then Alcotest.fail "no applicable domain-flip edit"
+      else
+        match Msched_delta.Edit.apply ~seed Msched_delta.Edit.Flip_domain nl with
+        | Ok (nl', _) -> Serial.to_string nl'
+        | Error _ -> scan (seed + 1)
+    in
+    scan 0
+  in
+  send c
+    (Printf.sprintf {|{"op":"delta","text":%s,"id":"cold"}|}
+       (Diag.Json.string edited));
+  let cold = recv_exn c in
+  Alcotest.(check int) "cold compile succeeds" 0 (exit_code cold);
+  send c
+    (Printf.sprintf {|{"op":"delta","text":%s,"base":%s,"id":"warm"}|}
+       (Diag.Json.string edited) (Diag.Json.string key));
+  let warm = recv_exn c in
+  Alcotest.(check int) "warm compile succeeds" 0 (exit_code warm);
+  Alcotest.(check (option string)) "manifest loaded warm" (Some "warm")
+    (str_mem "base" warm);
+  Alcotest.(check (option string)) "warm schedule == cold schedule"
+    (delta_field "schedule_fp" cold)
+    (delta_field "schedule_fp" warm);
+  Alcotest.(check bool) "cold request reused nothing" true
+    (delta_int "reused" cold = Some 0);
+  (* A bogus base key is a miss, not an error: the compile falls cold. *)
+  send c
+    (Printf.sprintf {|{"op":"delta","text":%s,"base":"no-such-key"}|}
+       (Diag.Json.string edited));
+  let missed = recv_exn c in
+  Alcotest.(check (option string)) "unknown key misses" (Some "miss")
+    (str_mem "base" missed);
+  Alcotest.(check (option string)) "missed compile still matches cold"
+    (delta_field "schedule_fp" cold)
+    (delta_field "schedule_fp" missed);
+  close c;
+  let s = drain_and_wait srv in
+  Alcotest.(check bool) "clean drain" true s.Transport.sm_clean
+
 let suite =
   [
     Alcotest.test_case "serve: round-trip over a unix socket" `Quick
@@ -619,4 +761,8 @@ let suite =
       test_abort_during_drain;
     Alcotest.test_case "serve: cache LRU gc under live traffic" `Quick
       test_cache_gc_under_serve;
+    Alcotest.test_case "serve: client lanes drain round-robin" `Quick
+      test_fairness_round_robin;
+    Alcotest.test_case "serve: delta op warm == cold over the wire" `Quick
+      test_delta_over_socket;
   ]
